@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/loid"
+	"repro/internal/wire"
+)
+
+func TestParseArgs(t *testing.T) {
+	got, err := parseArgs([]string{
+		"plain", "string:hello", "int64:-5", "uint64:7", "bool:true", "bytes:raw", "loid:L256.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("parsed %d args", len(got))
+	}
+	if wire.AsString(got[0]) != "plain" || wire.AsString(got[1]) != "hello" {
+		t.Error("string args wrong")
+	}
+	if v, _ := wire.AsInt64(got[2]); v != -5 {
+		t.Error("int64 arg wrong")
+	}
+	if v, _ := wire.AsUint64(got[3]); v != 7 {
+		t.Error("uint64 arg wrong")
+	}
+	if v, _ := wire.AsBool(got[4]); !v {
+		t.Error("bool arg wrong")
+	}
+	if string(got[5]) != "raw" {
+		t.Error("bytes arg wrong")
+	}
+	if l, _ := wire.AsLOID(got[6]); !l.SameObject(loid.NewNoKey(256, 1)) {
+		t.Error("loid arg wrong")
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, bad := range []string{"int64:x", "uint64:-1", "loid:zzz", "float:1.5"} {
+		if _, err := parseArgs([]string{bad}); err == nil {
+			t.Errorf("parseArgs(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRenderResult(t *testing.T) {
+	if s := renderResult(wire.Uint64(42)); !strings.Contains(s, "42 (uint64)") {
+		t.Errorf("uint64 render = %q", s)
+	}
+	if s := renderResult(wire.Bool(true)); !strings.Contains(s, "true (bool)") {
+		t.Errorf("bool render = %q", s)
+	}
+	if s := renderResult(wire.LOID(loid.NewNoKey(5, 6))); !strings.Contains(s, "(loid)") {
+		t.Errorf("loid render = %q", s)
+	}
+	if s := renderResult([]byte("hello")); !strings.Contains(s, `"hello"`) {
+		t.Errorf("bytes render = %q", s)
+	}
+}
+
+func TestImplInterface(t *testing.T) {
+	if ifc := implInterface(demo.CounterImpl); ifc == nil || !ifc.Has("Add") {
+		t.Error("counter interface missing")
+	}
+	if ifc := implInterface(demo.KVImpl); ifc == nil || !ifc.Has("Put") {
+		t.Error("kv interface missing")
+	}
+	if implInterface("custom.impl") != nil {
+		t.Error("unknown impl returned an interface")
+	}
+}

@@ -1,0 +1,97 @@
+// Command legiond runs Legion nodes over TCP.
+//
+// Core mode boots an entire Legion system — the core Abstract class
+// objects, Binding Agents, Magistrates and Host Objects (§4.2.1) — and
+// writes a contact sheet other processes use to join:
+//
+//	legiond -mode core -info /tmp/legion.json -jurisdictions 2 -hosts 2
+//
+// Host mode contributes one more Host Object to a running system, the
+// way the paper has new hosts enter Legion (§2.3, §4.2.1):
+//
+//	legiond -mode host -info /tmp/legion.json -seq 100
+//
+// Both modes serve until killed. The demo implementations
+// (demo.counter, demo.echo, demo.kv) are registered on every host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/implreg"
+	"repro/internal/transport"
+)
+
+func main() {
+	mode := flag.String("mode", "core", "core | host")
+	info := flag.String("info", "legion.json", "contact sheet path (written in core mode, read in host mode)")
+	jurisdictions := flag.Int("jurisdictions", 1, "core: number of jurisdictions")
+	hosts := flag.Int("hosts", 1, "core: hosts per jurisdiction")
+	leaves := flag.Int("leaf-agents", 1, "core: leaf binding agents")
+	fanout := flag.Int("agent-fanout", 0, "core: binding agent tree fanout (0 = flat)")
+	seq := flag.Uint64("seq", 100, "host: unique host sequence number")
+	magIdx := flag.Int("magistrate", 0, "host: index of the jurisdiction to join")
+	vault := flag.String("vault", "", "core: directory for on-disk jurisdiction storage (default: in-memory)")
+	flag.Parse()
+
+	impls := implreg.NewRegistry()
+	demo.RegisterAll(impls)
+
+	switch *mode {
+	case "core":
+		sys, err := core.Boot(core.Options{
+			Transport:            &transport.TCP{},
+			Impls:                impls,
+			Jurisdictions:        *jurisdictions,
+			HostsPerJurisdiction: *hosts,
+			LeafAgents:           *leaves,
+			AgentFanout:          *fanout,
+			VaultDir:             *vault,
+		})
+		if err != nil {
+			log.Fatalf("legiond: boot: %v", err)
+		}
+		defer sys.Close()
+		if err := sys.WriteNetInfo(*info); err != nil {
+			log.Fatalf("legiond: write contact sheet: %v", err)
+		}
+		ni, _ := sys.NetInfo()
+		fmt.Printf("legiond: core up — LegionClass at %s, %d jurisdiction(s), %d agent(s)\n",
+			ni.LegionClass, len(sys.Jurisdictions), len(sys.Agents))
+		fmt.Printf("legiond: contact sheet written to %s\n", *info)
+		waitForSignal()
+	case "host":
+		ni, err := core.LoadNetInfo(*info)
+		if err != nil {
+			log.Fatalf("legiond: %v", err)
+		}
+		remote, err := core.Attach(ni)
+		if err != nil {
+			log.Fatalf("legiond: attach: %v", err)
+		}
+		defer remote.Close()
+		joined, err := remote.JoinHost(*seq, impls, *magIdx)
+		if err != nil {
+			log.Fatalf("legiond: join: %v", err)
+		}
+		fmt.Printf("legiond: host %v joined jurisdiction %d\n", joined.LOID, *magIdx)
+		waitForSignal()
+	default:
+		fmt.Fprintf(os.Stderr, "legiond: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	fmt.Println("legiond: shutting down")
+}

@@ -1,0 +1,162 @@
+// Distributed: a real multi-process Legion deployment over TCP. The
+// parent process boots the system core; it then re-executes itself
+// twice as host-contributing child processes (the paper's picture of
+// independently administered machines joining Legion, §2.3/§4.2.1);
+// finally it creates objects placed on those remote hosts and invokes
+// them across process boundaries.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+const roleEnv = "LEGION_EXAMPLE_ROLE"
+
+func main() {
+	if seq := os.Getenv(roleEnv); seq != "" {
+		runChildHost(seq)
+		return
+	}
+	runParent()
+}
+
+// runParent boots the core and orchestrates the children.
+func runParent() {
+	impls := implreg.NewRegistry()
+	demo.RegisterAll(impls)
+	sys, err := core.Boot(core.Options{
+		Transport:            &transport.TCP{},
+		Impls:                impls,
+		HostsPerJurisdiction: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	dir, err := os.MkdirTemp("", "legion-distributed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	infoPath := filepath.Join(dir, "legion.json")
+	if err := sys.WriteNetInfo(infoPath); err != nil {
+		log.Fatal(err)
+	}
+	ni, _ := sys.NetInfo()
+	fmt.Printf("parent: core up, LegionClass at %s\n", ni.LegionClass)
+
+	// Launch two child processes, each contributing one host.
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var children []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			roleEnv+"="+strconv.Itoa(100+i),
+			"LEGION_EXAMPLE_INFO="+infoPath)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		children = append(children, cmd)
+	}
+	defer func() {
+		for _, c := range children {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}()
+
+	// Wait for the hosts to announce themselves to LegionHost.
+	boot := sys.BootClient()
+	hostLs := waitForHosts(sys, 3, 15*time.Second)
+	fmt.Printf("parent: %d hosts registered (1 local, 2 in child processes)\n", len(hostLs))
+
+	// Derive a class and pin one instance to each child-process host.
+	counterClass, _, err := sys.DeriveClass("Counter", demo.CounterImpl, demo.CounterInterface(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mag := sys.Jurisdictions[0].Magistrate
+	for _, hl := range hostLs {
+		if hl.ClassSpecific < 100 {
+			continue // the core's own host
+		}
+		obj, b, err := counterClass.Create(nil, mag, hl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("parent: created %v on child host %v (%v)\n", obj, hl, b.Address)
+		res, err := boot.Call(obj, "Add", wire.Int64(int64(hl.ClassSpecific)))
+		if err != nil || res.Code != wire.OK {
+			log.Fatalf("cross-process call: %v %v", res, err)
+		}
+		raw, _ := res.Result(0)
+		v, _ := wire.AsInt64(raw)
+		fmt.Printf("parent: cross-process Add -> %d\n", v)
+	}
+	fmt.Println("parent: done")
+}
+
+func waitForHosts(sys *core.System, want int, timeout time.Duration) []loid.LOID {
+	deadline := time.Now().Add(timeout)
+	mag := sys.Jurisdictions[0].Magistrate
+	for time.Now().Before(deadline) {
+		res, err := sys.BootClient().Call(mag, "ListHosts")
+		if err == nil && res.Code == wire.OK {
+			raw, _ := res.Result(0)
+			ls, err := wire.AsLOIDList(raw)
+			if err == nil && len(ls) >= want {
+				return ls
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	log.Fatalf("timed out waiting for %d hosts", want)
+	return nil
+}
+
+// runChildHost joins the parent's system as a host and serves until
+// killed.
+func runChildHost(seqStr string) {
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		log.Fatalf("child: bad seq %q", seqStr)
+	}
+	ni, err := core.LoadNetInfo(os.Getenv("LEGION_EXAMPLE_INFO"))
+	if err != nil {
+		log.Fatalf("child %d: %v", seq, err)
+	}
+	remote, err := core.Attach(ni)
+	if err != nil {
+		log.Fatalf("child %d: %v", seq, err)
+	}
+	defer remote.Close()
+	impls := implreg.NewRegistry()
+	demo.RegisterAll(impls)
+	joined, err := remote.JoinHost(seq, impls, 0)
+	if err != nil {
+		log.Fatalf("child %d: %v", seq, err)
+	}
+	fmt.Printf("child %d: host %v joined (pid %d)\n", seq, joined.LOID, os.Getpid())
+	select {} // serve until the parent kills us
+}

@@ -1,0 +1,146 @@
+// Marketplace: site autonomy through user-replaceable Magistrates
+// (§2.1.3, §2.1.4, §2.2). The DOE does not trust graduate students'
+// code: its Magistrate refuses to activate uncertified implementations
+// and only uses certified hosts, while the grad-lab Magistrate runs
+// anything. Objects additionally protect themselves with MayI (§2.4).
+//
+//	go run ./examples/marketplace
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/class"
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/security"
+	"repro/internal/wire"
+)
+
+func main() {
+	impls := implreg.NewRegistry()
+	demo.RegisterAll(impls)
+	sys, err := core.Boot(core.Options{
+		Impls:         impls,
+		Jurisdictions: 2, // 0 = DOE, 1 = grad lab
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	doe, grad := sys.Jurisdictions[0], sys.Jurisdictions[1]
+	fmt.Printf("DOE jurisdiction:      magistrate %v\n", doe.Magistrate)
+	fmt.Printf("grad-lab jurisdiction: magistrate %v\n", grad.Magistrate)
+
+	// The DOE writes its own Magistrate policy (the paper's central
+	// example of site autonomy): only certified implementations run,
+	// and only on DOE-certified hosts.
+	// The DOE certifies the KV implementation and the Legion core's
+	// generic class-object implementation (without which no class
+	// object could be placed in its jurisdiction).
+	certifiedImpls := map[string]bool{demo.KVImpl: true, class.ImplName: true}
+	certifiedHosts := map[loid.LOID]bool{}
+	for _, h := range doe.Hosts {
+		certifiedHosts[h.ID()] = true
+	}
+	doe.MagistrateImpl().SetFilter(func(object loid.LOID, impl string, onHost loid.LOID) error {
+		if !certifiedImpls[impl] {
+			return errors.New("implementation not certified by the DOE")
+		}
+		if !certifiedHosts[onHost.ID()] {
+			return errors.New("host not certified by the DOE")
+		}
+		return nil
+	})
+	fmt.Println("\nDOE magistrate: only demo.kv implementations, only DOE hosts")
+
+	// Two classes: a certified records store, and a grad student's
+	// counter.
+	recordsClass, _, err := sys.DeriveClass("DOERecords", demo.KVImpl, demo.KVInterface(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counterClass, _, err := sys.DeriveClass("GradCounter", demo.CounterImpl, demo.CounterInterface(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The DOE accepts the records store...
+	records, _, err := recordsClass.Create(nil, doe.Magistrate, loid.Nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DOE accepted %v (certified implementation)\n", records)
+
+	// ... but refuses the grad counter: "member function calls on
+	// Magistrates should be thought of as requests rather than
+	// commands" (§3.8).
+	_, _, err = counterClass.Create(nil, doe.Magistrate, loid.Nil)
+	fmt.Printf("DOE refused the grad counter: %v\n", err != nil)
+	if err != nil {
+		fmt.Printf("  reason: %v\n", err)
+	}
+
+	// The grad lab is happy to run it.
+	counter, _, err := counterClass.Create(nil, grad.Magistrate, loid.Nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grad lab accepted %v\n", counter)
+
+	// Objects also defend themselves: the records store installs a
+	// keyed ACL so only the DOE officer — presenting the right public
+	// key — may read it (§2.4, §3.2's public-key field).
+	officer := loid.New(300, 1, loid.DeriveKey("doe-officer"))
+	intruder := loid.New(300, 2, loid.DeriveKey("grad-student"))
+	acl := security.NewKeyedACL()
+	acl.Allow(officer, "Put", "Get", "Keys", "Len")
+	obj, ok := sys.FindObject(records)
+	if !ok {
+		log.Fatal("records object not found")
+	}
+	obj.SetPolicy(acl)
+	fmt.Println("\nrecords store now enforces a keyed ACL (MayI)")
+
+	officerCli, err := sys.NewClient(officer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := officerCli.Call(records, "Put", wire.String("secret"), []byte("42"))
+	if err != nil || res.Code != wire.OK {
+		log.Fatalf("officer Put: %v %v", res, err)
+	}
+	fmt.Println("officer Put succeeded")
+
+	intruderCli, err := sys.NewClient(intruder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = intruderCli.Call(records, "Get", wire.String("secret"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grad student Get -> %s (%s)\n", res.Code, res.ErrText)
+
+	// Even knowing the officer's LOID doesn't help without the key:
+	// MayI compares the public-key field of the calling agent.
+	spoofed := loid.New(officer.ClassID, officer.ClassSpecific, loid.DeriveKey("not-the-officer"))
+	spoofCli, err := sys.NewClient(spoofed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = spoofCli.Call(records, "Get", wire.String("secret"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spoofed identity Get -> %s (%s)\n", res.Code, res.ErrText)
+
+	// The MayI probe lets callers discover their own rights.
+	res, _ = intruderCli.Call(records, "MayI", wire.String("Get"))
+	allowed, _ := wire.AsBool(res.Results[0])
+	fmt.Printf("grad student MayI(Get) -> allowed=%v\n", allowed)
+}

@@ -1,0 +1,112 @@
+// Migration: jurisdictions, deactivation, and stale-binding recovery
+// (§2.2, §3.1, §3.8, §4.1.4). An object moves between Active and Inert
+// states and between Jurisdictions; clients holding stale bindings
+// heal transparently through the Binding Agent refresh path, with
+// state intact throughout.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/magistrate"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+func main() {
+	impls := implreg.NewRegistry()
+	demo.RegisterAll(impls)
+	sys, err := core.Boot(core.Options{
+		Impls:         impls,
+		Jurisdictions: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	boot := sys.BootClient()
+	jA, jB := sys.Jurisdictions[0], sys.Jurisdictions[1]
+	magA := magistrate.NewClient(boot, jA.Magistrate)
+	magB := magistrate.NewClient(boot, jB.Magistrate)
+	fmt.Printf("jurisdiction A: magistrate %v\njurisdiction B: magistrate %v\n", jA.Magistrate, jB.Magistrate)
+
+	// A KV store created in jurisdiction A.
+	kvClass, _, err := sys.DeriveClass("KV", demo.KVImpl, demo.KVInterface(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv, _, err := kvClass.Create(nil, jA.Magistrate, loid.Nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncreated KV store %v in jurisdiction A\n", kv)
+
+	user, err := sys.NewClient(loid.New(300, 1, loid.DeriveKey("user")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	put := func(k, v string) {
+		must(user, kv, "Put", wire.String(k), []byte(v))
+	}
+	get := func(k string) string {
+		res := must(user, kv, "Get", wire.String(k))
+		v, _ := res.Result(0)
+		return string(v)
+	}
+	put("paper", "The Core Legion Object Model")
+	put("year", "1995")
+	fmt.Printf("kv[paper] = %q\n", get("paper"))
+
+	// Deactivate: the object becomes an OPR on A's storage (Fig 11).
+	fmt.Println("\ndeactivating (Active -> Inert)...")
+	if err := magA.Deactivate(kv); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jurisdiction A now stores %d OPR(s)\n", jA.StoredOPRs())
+	// The user's binding is now stale; the next call detects it,
+	// refreshes through agent -> class -> magistrate, which reactivates.
+	fmt.Printf("kv[paper] after reactivation = %q (binding healed transparently)\n", get("paper"))
+
+	// Migrate: Move = Copy + Delete (§3.8).
+	fmt.Println("\nmoving the store to jurisdiction B...")
+	if err := magA.Move(kv, jB.Magistrate); err != nil {
+		log.Fatal(err)
+	}
+	// The mover updates the class's logical table (Fig 16 fields).
+	if res, err := boot.Call(kvClass.Class(), "SetCurrentMagistrates",
+		wire.LOID(kv), wire.LOIDList([]loid.LOID{jB.Magistrate})); err != nil || res.Code != wire.OK {
+		log.Fatalf("update class: %v %v", res, err)
+	}
+	if err := kvClass.NotifyDeactivated(kv); err != nil {
+		log.Fatal(err)
+	}
+	known, _, _ := magA.HasObject(kv)
+	fmt.Printf("jurisdiction A still knows the object: %v\n", known)
+	knownB, _, _ := magB.HasObject(kv)
+	fmt.Printf("jurisdiction B knows the object: %v\n", knownB)
+
+	// The user still holds jurisdiction-A era bindings. One call heals
+	// everything, and the data survived two hops of persistent storage.
+	fmt.Printf("\nkv[paper] from jurisdiction B = %q\n", get("paper"))
+	fmt.Printf("kv[year]  from jurisdiction B = %q\n", get("year"))
+	_, active, _ := magB.HasObject(kv)
+	fmt.Printf("object active in jurisdiction B: %v\n", active)
+}
+
+func must(c *rt.Caller, target loid.LOID, method string, args ...[]byte) *rt.Result {
+	res, err := c.Call(target, method, args...)
+	if err != nil {
+		log.Fatalf("%s: %v", method, err)
+	}
+	if res.Code != wire.OK {
+		log.Fatalf("%s: %s %s", method, res.Code, res.ErrText)
+	}
+	return res
+}

@@ -1,0 +1,441 @@
+// Package bindagent implements Legion Binding Agents (§3.6, §4.1): the
+// objects that act on behalf of other Legion objects to bind LOIDs to
+// Object Addresses. A Binding Agent maintains a cache of bindings and a
+// cache of responsibility pairs; on a miss it either asks its parent
+// agent — agents "may be organized in a hierarchy to allow the binding
+// process to scale", the k-ary software combining tree of §5.2.2 — or
+// walks the class path: locate the responsible class via LegionClass
+// (§4.1.3, recursively) and ask the class for the object's binding,
+// which may activate an Inert object.
+package bindagent
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/binding"
+	"repro/internal/idl"
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Interface is the member-function set of a Binding Agent (§3.6). The
+// two overloads of GetBinding and InvalidateBinding are distinct wire
+// methods, since the wire protocol dispatches on method name.
+var Interface = idl.NewInterface("LegionBindingAgent",
+	idl.MethodSig{Name: "GetBinding",
+		Params:  []idl.Param{{Name: "target", Type: idl.TLOID}},
+		Returns: []idl.Param{{Name: "b", Type: idl.TBinding}}},
+	idl.MethodSig{Name: "RebindStale",
+		Params:  []idl.Param{{Name: "stale", Type: idl.TBinding}},
+		Returns: []idl.Param{{Name: "b", Type: idl.TBinding}}},
+	idl.MethodSig{Name: "AddBinding",
+		Params: []idl.Param{{Name: "b", Type: idl.TBinding}}},
+	idl.MethodSig{Name: "InvalidateLOID",
+		Params: []idl.Param{{Name: "target", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "InvalidateBinding",
+		Params: []idl.Param{{Name: "b", Type: idl.TBinding}}},
+	idl.MethodSig{Name: "CacheStats",
+		Returns: []idl.Param{
+			{Name: "hits", Type: idl.TUint64},
+			{Name: "misses", Type: idl.TUint64}}},
+)
+
+// maxClassDepth bounds the kind-of recursion of §4.1.3.
+const maxClassDepth = 32
+
+// Agent is the Binding Agent implementation.
+type Agent struct {
+	self loid.LOID
+
+	// cache is the agent's binding cache (§3.6, Fig 15).
+	cache *binding.Cache
+	// pairs caches responsibility pairs: class LOID -> responsible
+	// class LOID ("extensive caching of both bindings and
+	// 'responsibility pairs' ensures that the vast majority of
+	// accesses occurs locally", §4.1.3). Guarded by pairsMu: agents
+	// dispatch concurrently.
+	pairsMu sync.Mutex
+	pairs   map[loid.LOID]loid.LOID
+
+	// parent, if set, makes this agent a tree node: misses are
+	// forwarded to the parent instead of the class path.
+	parent     loid.LOID
+	parentAddr oa.Address
+
+	// legionClassAddr is the Object Address of LegionClass — part of
+	// every Binding Agent's wiring, analogous to the paper's statement
+	// that an object's persistent state carries its Binding Agent's
+	// address.
+	legionClassAddr oa.Address
+
+	obj *rt.Object
+}
+
+// New builds a Binding Agent with a cache of the given capacity
+// (0 = unbounded). legionClassAddr roots the class-location procedure.
+func New(self loid.LOID, cacheSize int, legionClassAddr oa.Address) *Agent {
+	return &Agent{
+		self:            self,
+		cache:           binding.NewCache(cacheSize),
+		pairs:           make(map[loid.LOID]loid.LOID),
+		legionClassAddr: legionClassAddr,
+	}
+}
+
+// SetParent links this agent under a parent agent (k-ary combining
+// tree, §5.2.2).
+func (a *Agent) SetParent(parent loid.LOID, addr oa.Address) {
+	a.parent = parent
+	a.parentAddr = addr
+}
+
+// LOID returns the agent's name.
+func (a *Agent) LOID() loid.LOID { return a.self }
+
+// Cache exposes the binding cache for inspection.
+func (a *Agent) Cache() *binding.Cache { return a.cache }
+
+// Interface implements rt.Impl.
+func (a *Agent) Interface() *idl.Interface { return Interface }
+
+// Bind implements rt.Binder.
+func (a *Agent) Bind(o *rt.Object) { a.obj = o }
+
+// Dispatch implements rt.Impl.
+func (a *Agent) Dispatch(inv *rt.Invocation) ([][]byte, error) {
+	switch inv.Method {
+	case "GetBinding":
+		target, err := argLOID(inv, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := a.getBinding(target)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{wire.Binding(b)}, nil
+	case "RebindStale":
+		raw, err := inv.Arg(0)
+		if err != nil {
+			return nil, err
+		}
+		stale, err := wire.AsBinding(raw)
+		if err != nil {
+			return nil, err
+		}
+		b, err := a.rebindStale(stale)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{wire.Binding(b)}, nil
+	case "AddBinding":
+		raw, err := inv.Arg(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := wire.AsBinding(raw)
+		if err != nil {
+			return nil, err
+		}
+		a.cache.Add(b)
+		return nil, nil
+	case "InvalidateLOID":
+		target, err := argLOID(inv, 0)
+		if err != nil {
+			return nil, err
+		}
+		a.cache.InvalidateLOID(target)
+		return nil, nil
+	case "InvalidateBinding":
+		raw, err := inv.Arg(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := wire.AsBinding(raw)
+		if err != nil {
+			return nil, err
+		}
+		a.cache.InvalidateBinding(b)
+		return nil, nil
+	case "CacheStats":
+		st := a.cache.Stats()
+		return [][]byte{wire.Uint64(st.Hits), wire.Uint64(st.Misses + st.Expired)}, nil
+	}
+	return nil, &rt.NoSuchMethodError{Method: inv.Method}
+}
+
+// getBinding implements GetBinding(LOID) (§4.1.2).
+func (a *Agent) getBinding(target loid.LOID) (binding.Binding, error) {
+	if b, ok := a.cache.Get(target); ok {
+		return b, nil
+	}
+	if !a.parent.IsNil() {
+		// Combining tree: forward the miss upward.
+		b, err := a.callBinding(a.parentAddr, a.parent, "GetBinding", wire.LOID(target))
+		if err != nil {
+			return binding.Binding{}, err
+		}
+		a.cache.Add(b)
+		return b, nil
+	}
+	b, err := a.resolveViaClass(target)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	a.cache.Add(b)
+	return b, nil
+}
+
+// rebindStale implements GetBinding(binding) (§3.6): "the object
+// employing the Binding Agent can explicitly request that a binding be
+// refreshed; it will typically do so when the binding that it has
+// doesn't work."
+func (a *Agent) rebindStale(stale binding.Binding) (binding.Binding, error) {
+	a.cache.InvalidateBinding(stale)
+	// §3.6: only "if the Object Address in the binding parameter
+	// matches the one in the Binding Agent's local cache [might it]
+	// contact the class object for an updated binding" — a cached
+	// binding that differs from the stale one (e.g. delivered by a
+	// class's propagation push) is already the update.
+	if b, ok := a.cache.Get(stale.LOID); ok && !b.Address.Equal(stale.Address) {
+		return b, nil
+	}
+	if !a.parent.IsNil() {
+		b, err := a.callBinding(a.parentAddr, a.parent, "RebindStale", wire.Binding(stale))
+		if err != nil {
+			return binding.Binding{}, err
+		}
+		a.cache.Add(b)
+		return b, nil
+	}
+	// Root agent: ask the responsible class for a better binding.
+	target := stale.LOID
+	if target.IsClass() {
+		b, err := a.refreshClassBinding(target, stale)
+		if err != nil {
+			return binding.Binding{}, err
+		}
+		a.cache.Add(b)
+		return b, nil
+	}
+	clsB, err := a.resolveClass(target.ClassLOID(), 0)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	b, err := a.callBinding(clsB.Address, clsB.LOID, "RefreshBinding", wire.Binding(stale))
+	if err != nil {
+		// The class binding itself may be stale — class objects can
+		// migrate too. Re-resolve the class and retry once.
+		a.cache.InvalidateBinding(clsB)
+		freshCls, rerr := a.refreshClassBinding(target.ClassLOID(), clsB)
+		if rerr != nil {
+			return binding.Binding{}, fmt.Errorf("bindagent %v: refresh %v: %w", a.self, target, err)
+		}
+		b, err = a.callBinding(freshCls.Address, freshCls.LOID, "RefreshBinding", wire.Binding(stale))
+		if err != nil {
+			return binding.Binding{}, err
+		}
+	}
+	a.cache.Add(b)
+	return b, nil
+}
+
+// resolveViaClass finds target's binding through its class (§4.1.2):
+// locate the class (possibly recursively, §4.1.3), then ask the class,
+// which "must be able to return a binding if one exists" — possibly by
+// activating the object through its Magistrate.
+func (a *Agent) resolveViaClass(target loid.LOID) (binding.Binding, error) {
+	if target.IsClass() {
+		return a.resolveClass(target, 0)
+	}
+	clsB, err := a.resolveClass(target.ClassLOID(), 0)
+	if err != nil {
+		return binding.Binding{}, fmt.Errorf("bindagent %v: class of %v: %w", a.self, target, err)
+	}
+	b, err := a.callBinding(clsB.Address, clsB.LOID, "GetBinding", wire.LOID(target))
+	if err != nil {
+		// The class binding itself may be stale (a migrated class
+		// object): drop it and retry once through a fresh class
+		// resolution.
+		a.cache.InvalidateBinding(clsB)
+		clsB, rerr := a.refreshClassBinding(target.ClassLOID(), clsB)
+		if rerr != nil {
+			return binding.Binding{}, fmt.Errorf("bindagent %v: %v: %w", a.self, target, err)
+		}
+		return a.callBinding(clsB.Address, clsB.LOID, "GetBinding", wire.LOID(target))
+	}
+	return b, nil
+}
+
+// resolveClass implements the recursive class location of §4.1.3: ask
+// LegionClass; either it answers directly, or it names the responsible
+// class, which is located the same way and then consulted. Cached
+// bindings and responsibility pairs short-circuit both steps.
+func (a *Agent) resolveClass(cls loid.LOID, depth int) (binding.Binding, error) {
+	if depth > maxClassDepth {
+		return binding.Binding{}, fmt.Errorf("bindagent %v: class chain deeper than %d", a.self, maxClassDepth)
+	}
+	if cls.SameObject(loid.LegionClass) {
+		// "The process can end when the responsible class is
+		// LegionClass itself" (§4.1.3).
+		return binding.Forever(loid.LegionClass, a.legionClassAddr), nil
+	}
+	if b, ok := a.cache.Get(cls); ok {
+		return b, nil
+	}
+	// Responsibility-pair cache first; LegionClass only on a pair miss.
+	resp, havePair := a.pairFor(cls)
+	if !havePair {
+		direct, b, responsible, err := a.locateClassStep(cls)
+		if err != nil {
+			return binding.Binding{}, err
+		}
+		if direct {
+			a.cache.Add(b)
+			return b, nil
+		}
+		resp = responsible
+		a.setPair(cls, resp)
+	}
+	respB, err := a.resolveClass(resp, depth+1)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	b, err := a.callBinding(respB.Address, respB.LOID, "GetBinding", wire.LOID(cls))
+	if err != nil {
+		return binding.Binding{}, fmt.Errorf("bindagent %v: responsible class %v: %w", a.self, resp, err)
+	}
+	a.cache.Add(b)
+	return b, nil
+}
+
+// refreshClassBinding re-resolves a class binding treating staleB as
+// bad: LegionClass or the responsible class is asked to refresh.
+func (a *Agent) refreshClassBinding(cls loid.LOID, staleB binding.Binding) (binding.Binding, error) {
+	a.cache.InvalidateLOID(cls)
+	if cls.SameObject(loid.LegionClass) {
+		return binding.Forever(loid.LegionClass, a.legionClassAddr), nil
+	}
+	resp, havePair := a.pairFor(cls)
+	if !havePair {
+		direct, b, responsible, err := a.locateClassStep(cls)
+		if err != nil {
+			return binding.Binding{}, err
+		}
+		if direct {
+			a.cache.Add(b)
+			return b, nil
+		}
+		resp = responsible
+		a.setPair(cls, resp)
+	}
+	respB, err := a.resolveClass(resp, 0)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	stale := staleB
+	stale.LOID = cls
+	b, err := a.callBinding(respB.Address, respB.LOID, "RefreshBinding", wire.Binding(stale))
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	a.cache.Add(b)
+	return b, nil
+}
+
+// locateClassStep performs one LocateClass call on LegionClass.
+func (a *Agent) locateClassStep(cls loid.LOID) (direct bool, b binding.Binding, responsible loid.LOID, err error) {
+	res, err := a.obj.Caller().CallAddr(a.legionClassAddr, loid.LegionClass, "LocateClass", wire.LOID(cls))
+	if err != nil {
+		return false, binding.Binding{}, loid.Nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return false, binding.Binding{}, loid.Nil, err
+	}
+	if direct, err = wire.AsBool(raw); err != nil {
+		return false, binding.Binding{}, loid.Nil, err
+	}
+	if raw, err = res.Result(1); err != nil {
+		return false, binding.Binding{}, loid.Nil, err
+	}
+	if b, err = wire.AsBinding(raw); err != nil {
+		return false, binding.Binding{}, loid.Nil, err
+	}
+	if raw, err = res.Result(2); err != nil {
+		return false, binding.Binding{}, loid.Nil, err
+	}
+	if responsible, err = wire.AsLOID(raw); err != nil {
+		return false, binding.Binding{}, loid.Nil, err
+	}
+	return direct, b, responsible, nil
+}
+
+// callBinding invokes a binding-returning method at an explicit
+// address and decodes the result.
+func (a *Agent) callBinding(addr oa.Address, target loid.LOID, method string, arg []byte) (binding.Binding, error) {
+	res, err := a.obj.Caller().CallAddr(addr, target, method, arg)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	return wire.AsBinding(raw)
+}
+
+// SaveState implements rt.Impl: the agent persists its wiring (parent
+// and LegionClass addresses); cached bindings are soft state.
+func (a *Agent) SaveState() ([]byte, error) {
+	var out []byte
+	out = a.parent.Marshal(out)
+	out = a.parentAddr.Marshal(out)
+	out = a.legionClassAddr.Marshal(out)
+	return out, nil
+}
+
+// RestoreState implements rt.Impl.
+func (a *Agent) RestoreState(state []byte) error {
+	if len(state) == 0 {
+		return nil
+	}
+	var err error
+	if a.parent, state, err = loid.Unmarshal(state); err != nil {
+		return err
+	}
+	if a.parentAddr, state, err = oa.Unmarshal(state); err != nil {
+		return err
+	}
+	if a.legionClassAddr, state, err = oa.Unmarshal(state); err != nil {
+		return err
+	}
+	if len(state) != 0 {
+		return fmt.Errorf("bindagent: %d trailing state bytes", len(state))
+	}
+	return nil
+}
+
+func argLOID(inv *rt.Invocation, i int) (loid.LOID, error) {
+	raw, err := inv.Arg(i)
+	if err != nil {
+		return loid.Nil, err
+	}
+	return wire.AsLOID(raw)
+}
+
+func (a *Agent) pairFor(cls loid.LOID) (loid.LOID, bool) {
+	a.pairsMu.Lock()
+	defer a.pairsMu.Unlock()
+	r, ok := a.pairs[cls.ID()]
+	return r, ok
+}
+
+func (a *Agent) setPair(cls, responsible loid.LOID) {
+	a.pairsMu.Lock()
+	defer a.pairsMu.Unlock()
+	a.pairs[cls.ID()] = responsible
+}

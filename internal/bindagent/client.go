@@ -1,0 +1,99 @@
+package bindagent
+
+import (
+	"repro/internal/binding"
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Client is an rt.Resolver backed by a Binding Agent: the form every
+// object's communication layer uses. The agent is reached by explicit
+// Object Address — "the persistent state of each Legion object contains
+// the Object Address of its Binding Agent" (§3.6) — so resolution never
+// needs resolution.
+type Client struct {
+	caller *rt.Caller
+	agent  loid.LOID
+	addr   oa.Address
+}
+
+// NewClient builds a resolver that consults the agent at addr, making
+// calls through caller.
+func NewClient(caller *rt.Caller, agent loid.LOID, addr oa.Address) *Client {
+	return &Client{caller: caller, agent: agent, addr: addr}
+}
+
+// Agent returns the agent's LOID.
+func (c *Client) Agent() loid.LOID { return c.agent }
+
+// Resolve implements rt.Resolver via GetBinding(LOID).
+func (c *Client) Resolve(l loid.LOID) (binding.Binding, error) {
+	return c.call("GetBinding", wire.LOID(l))
+}
+
+// Refresh implements rt.Resolver via the GetBinding(binding) overload.
+func (c *Client) Refresh(stale binding.Binding) (binding.Binding, error) {
+	return c.call("RebindStale", wire.Binding(stale))
+}
+
+// AddBinding propagates a binding into the agent's cache (§3.6).
+func (c *Client) AddBinding(b binding.Binding) error {
+	res, err := c.caller.CallAddr(c.addr, c.agent, "AddBinding", wire.Binding(b))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// InvalidateLOID removes any binding for l from the agent's cache.
+func (c *Client) InvalidateLOID(l loid.LOID) error {
+	res, err := c.caller.CallAddr(c.addr, c.agent, "InvalidateLOID", wire.LOID(l))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// InvalidateBinding removes b from the agent's cache if it matches
+// exactly.
+func (c *Client) InvalidateBinding(b binding.Binding) error {
+	res, err := c.caller.CallAddr(c.addr, c.agent, "InvalidateBinding", wire.Binding(b))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// CacheStats reads the agent's hit/miss counters.
+func (c *Client) CacheStats() (hits, misses uint64, err error) {
+	res, err := c.caller.CallAddr(c.addr, c.agent, "CacheStats")
+	if err != nil {
+		return 0, 0, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if hits, err = wire.AsUint64(raw); err != nil {
+		return 0, 0, err
+	}
+	if raw, err = res.Result(1); err != nil {
+		return 0, 0, err
+	}
+	misses, err = wire.AsUint64(raw)
+	return hits, misses, err
+}
+
+func (c *Client) call(method string, arg []byte) (binding.Binding, error) {
+	res, err := c.caller.CallAddr(c.addr, c.agent, method, arg)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	return wire.AsBinding(raw)
+}

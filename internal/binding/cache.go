@@ -1,0 +1,195 @@
+package binding
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/loid"
+)
+
+// Stats carries cache hit/miss counters. "Objects will maintain a cache
+// of bindings; their Binding Agent will only be consulted on a local
+// cache miss, or when a stale binding is encountered" (§5.2.1) — the
+// counters let experiments E2/E3 measure exactly that.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Expired     uint64 // lookups that found only an expired entry
+	Evictions   uint64 // capacity evictions (LRU)
+	Invalidated uint64 // explicit invalidations
+}
+
+// HitRate returns hits / (hits + misses + expired), or 0 for no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Expired
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key loid.LOID // identity form (key field cleared)
+	b   Binding
+}
+
+// Cache is a concurrency-safe TTL+LRU binding cache keyed by LOID
+// identity (the public key field does not participate in lookup).
+// A capacity of 0 means unbounded. Use NewCache.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	now   func() time.Time
+	ll    *list.List // front = most recently used
+	items map[loid.LOID]*list.Element
+	stats Stats
+}
+
+// NewCache builds a cache holding at most capacity bindings (0 =
+// unbounded).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		now:   time.Now,
+		ll:    list.New(),
+		items: make(map[loid.LOID]*list.Element),
+	}
+}
+
+// SetClock overrides the cache's time source; tests use it to exercise
+// expiry deterministically.
+func (c *Cache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// Add inserts or replaces the binding for b.LOID (§3.6 AddBinding).
+// Expired bindings are not inserted.
+func (c *Cache) Add(b Binding) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !b.ValidAt(c.now()) {
+		return
+	}
+	k := b.LOID.ID()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).b = b
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry{key: k, b: b})
+	c.items[k] = el
+	if c.cap > 0 && c.ll.Len() > c.cap {
+		if oldest := c.ll.Back(); oldest != nil {
+			c.removeLocked(oldest)
+			c.stats.Evictions++
+		}
+	}
+}
+
+// Get returns the cached, unexpired binding for l, if any.
+func (c *Cache) Get(l loid.LOID) (Binding, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[l.ID()]
+	if !ok {
+		c.stats.Misses++
+		return Binding{}, false
+	}
+	e := el.Value.(*entry)
+	if !e.b.ValidAt(c.now()) {
+		c.removeLocked(el)
+		c.stats.Expired++
+		return Binding{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return e.b, true
+}
+
+// InvalidateLOID removes any binding for l (§3.6
+// InvalidateBinding(LOID)). It reports whether an entry was removed.
+func (c *Cache) InvalidateLOID(l loid.LOID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[l.ID()]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	c.stats.Invalidated++
+	return true
+}
+
+// InvalidateBinding removes the binding for b.LOID only if the cached
+// binding matches b exactly (§3.6 InvalidateBinding(binding)).
+func (c *Cache) InvalidateBinding(b Binding) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[b.LOID.ID()]
+	if !ok {
+		return false
+	}
+	if !el.Value.(*entry).b.Equal(b) {
+		return false
+	}
+	c.removeLocked(el)
+	c.stats.Invalidated++
+	return true
+}
+
+// Len returns the number of cached bindings (including any that have
+// expired but have not yet been looked up).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// Clear removes every binding.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[loid.LOID]*list.Element)
+}
+
+// Snapshot returns a copy of every unexpired binding, most recently
+// used first. Binding Agents use it to propagate bindings to peers
+// (§3.6: AddBinding "can be used ... to explicitly propagate binding
+// information for performance purposes").
+func (c *Cache) Snapshot() []Binding {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	out := make([]Binding, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.b.ValidAt(now) {
+			out = append(out, e.b)
+		}
+	}
+	return out
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+}

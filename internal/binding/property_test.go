@@ -1,0 +1,109 @@
+package binding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/loid"
+	"repro/internal/oa"
+)
+
+// TestCacheCapacityInvariant: under any random operation sequence, an
+// LRU cache never exceeds its capacity and Get never returns an entry
+// that was invalidated more recently than it was added.
+func TestCacheCapacityInvariant(t *testing.T) {
+	f := func(ops []uint16, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		c := NewCache(capacity)
+		live := map[loid.LOID]oa.Address{} // model: what must be absent
+		for _, op := range ops {
+			l := loid.NewNoKey(1, uint64(op%32))
+			switch op % 3 {
+			case 0:
+				addr := oa.Single(oa.MemElement(uint64(op)))
+				c.Add(Forever(l, addr))
+				live[l.ID()] = addr
+			case 1:
+				c.InvalidateLOID(l)
+				delete(live, l.ID())
+			case 2:
+				if b, ok := c.Get(l); ok {
+					// Anything returned must match the model's last
+					// write for that LOID (never a ghost of an
+					// invalidated entry).
+					want, present := live[l.ID()]
+					if !present || !b.Address.Equal(want) {
+						return false
+					}
+				}
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheLRUEvictsOldestProperty: after filling a size-k cache with
+// k+1 distinct entries, exactly the first-inserted (never-touched)
+// entry is gone.
+func TestCacheLRUEvictsOldestProperty(t *testing.T) {
+	f := func(capSeed uint8) bool {
+		k := int(capSeed%8) + 2
+		c := NewCache(k)
+		for i := 0; i <= k; i++ {
+			c.Add(Forever(loid.NewNoKey(1, uint64(i+1)), oa.Single(oa.MemElement(uint64(i+1)))))
+		}
+		if c.Len() != k {
+			return false
+		}
+		if _, ok := c.Get(loid.NewNoKey(1, 1)); ok {
+			return false // oldest should have been evicted
+		}
+		for i := 1; i <= k; i++ {
+			if _, ok := c.Get(loid.NewNoKey(1, uint64(i+1))); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheExpiryNeverServesStale: entries with randomized TTLs are
+// never served after their expiry under a controlled clock.
+func TestCacheExpiryNeverServesStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := time.Unix(10000, 0)
+	now := base
+	c := NewCache(0)
+	c.SetClock(func() time.Time { return now })
+	type entry struct {
+		l   loid.LOID
+		exp time.Time
+	}
+	var entries []entry
+	for i := 0; i < 64; i++ {
+		l := loid.NewNoKey(2, uint64(i))
+		exp := base.Add(time.Duration(rng.Intn(1000)) * time.Second)
+		c.Add(Until(l, oa.Single(oa.MemElement(uint64(i))), exp))
+		entries = append(entries, entry{l, exp})
+	}
+	for step := 0; step < 50; step++ {
+		now = base.Add(time.Duration(rng.Intn(1200)) * time.Second)
+		for _, e := range entries {
+			b, ok := c.Get(e.l)
+			if ok && !now.Before(e.exp) {
+				t.Fatalf("served %v at %v, expired %v", b, now, e.exp)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package class
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/loid"
+	"repro/internal/oa"
+)
+
+// writer/reader are small binary codec helpers for class-object state,
+// which is the most structured state in the system (metadata, base
+// lists, and the logical table of Fig 16).
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) str(s string) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bytes(b []byte) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) loid(l loid.LOID)  { w.buf = l.Marshal(w.buf) }
+func (w *writer) addr(a oa.Address) { w.buf = a.Marshal(w.buf) }
+func (w *writer) loids(ls []loid.LOID) {
+	w.u64(uint64(len(ls)))
+	for _, l := range ls {
+		w.loid(l)
+	}
+}
+
+type reader struct{ buf []byte }
+
+var errShort = errors.New("class: truncated state")
+
+func (r *reader) u8() (uint8, error) {
+	if len(r.buf) < 1 {
+		return 0, errShort
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.buf) < 8 {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint64(r.buf[:8])
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	if len(r.buf) < 4 {
+		return nil, errShort
+	}
+	n := binary.BigEndian.Uint32(r.buf[:4])
+	r.buf = r.buf[4:]
+	if n > 64<<20 {
+		return nil, fmt.Errorf("class: field length %d exceeds limit", n)
+	}
+	if uint32(len(r.buf)) < n {
+		return nil, errShort
+	}
+	out := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *reader) loid() (loid.LOID, error) {
+	l, rest, err := loid.Unmarshal(r.buf)
+	if err != nil {
+		return loid.Nil, err
+	}
+	r.buf = rest
+	return l, nil
+}
+
+func (r *reader) addr() (oa.Address, error) {
+	a, rest, err := oa.Unmarshal(r.buf)
+	if err != nil {
+		return oa.Address{}, err
+	}
+	r.buf = rest
+	return a, nil
+}
+
+func (r *reader) loids() ([]loid.LOID, error) {
+	n, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	// Bound by what the remaining buffer could possibly hold, so a
+	// corrupted count cannot trigger a huge allocation.
+	if n > uint64(len(r.buf))/loid.EncodedSize {
+		return nil, fmt.Errorf("class: LOID list length %d exceeds buffer", n)
+	}
+	out := make([]loid.LOID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, err := r.loid()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+func (r *reader) done() error {
+	if len(r.buf) != 0 {
+		return fmt.Errorf("class: %d trailing state bytes", len(r.buf))
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package class
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/binding"
+	"repro/internal/idl"
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// MetaInterface is the member-function set of LegionClass beyond the
+// ordinary class-mandatory functions: the Class Identifier authority
+// and the responsibility-pair registry of §4.1.3.
+var MetaInterface = func() *idl.Interface {
+	in := Interface.Clone("LegionClassMeta")
+	for _, sig := range []idl.MethodSig{
+		{Name: "NewClassID",
+			Params:  []idl.Param{{Name: "creator", Type: idl.TLOID}, {Name: "name", Type: idl.TString}},
+			Returns: []idl.Param{{Name: "classID", Type: idl.TUint64}}},
+		{Name: "WhoIsResponsible",
+			Params:  []idl.Param{{Name: "class", Type: idl.TLOID}},
+			Returns: []idl.Param{{Name: "creator", Type: idl.TLOID}}},
+		{Name: "LocateClass",
+			Params: []idl.Param{{Name: "class", Type: idl.TLOID}},
+			Returns: []idl.Param{
+				{Name: "direct", Type: idl.TBool},
+				{Name: "b", Type: idl.TBinding},
+				{Name: "responsible", Type: idl.TLOID}}},
+		{Name: "RegisterClassBinding",
+			Params: []idl.Param{{Name: "class", Type: idl.TLOID}, {Name: "addr", Type: idl.TAddress}}},
+	} {
+		if err := in.Add(sig); err != nil {
+			panic(err)
+		}
+	}
+	return in
+}()
+
+// Metaclass is LegionClass: the single logical class object from which
+// all classes are eventually derived. It hands out unique Class
+// Identifiers, maintains the ⟨responsible, class⟩ pairs used to locate
+// class objects, and is the terminal authority of the recursive class
+// location procedure (§4.1.3). It embeds the generic ClassImpl so it
+// also behaves as an ordinary (Abstract) class object.
+type Metaclass struct {
+	*ClassImpl
+
+	mu       sync.Mutex
+	nextID   uint64
+	pairs    map[loid.LOID]loid.LOID // class -> responsible creator
+	bindings map[loid.LOID]oa.Address
+	names    map[uint64]string // class id -> name, for diagnostics
+}
+
+// NewMetaclass builds LegionClass. Its own binding and those of the
+// other core Abstract classes are registered at bootstrap via
+// RegisterClassBinding (§4.2.1: "the Abstract class objects are
+// started exactly once — when the Legion system comes alive").
+func NewMetaclass() (*Metaclass, error) {
+	// LegionClass is Abstract (no direct instances) and, in this
+	// implementation, Private: new classes are derived from
+	// LegionObject or below, never from the metaclass itself — a class
+	// deriving from its own identity would self-deadlock on the
+	// NewClassID call.
+	impl, err := NewClassImpl(&Meta{
+		Self:  loid.New(loid.ClassIDLegionClass, 0, loid.DeriveKey("class/LegionClass")),
+		Name:  "LegionClass",
+		Super: loid.LegionObject,
+		Flags: FlagAbstract | FlagPrivate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Metaclass{
+		ClassImpl: impl,
+		nextID:    loid.FirstUserClassID,
+		pairs:     make(map[loid.LOID]loid.LOID),
+		bindings:  make(map[loid.LOID]oa.Address),
+		names:     make(map[uint64]string),
+	}, nil
+}
+
+// Interface implements rt.Impl.
+func (m *Metaclass) Interface() *idl.Interface { return MetaInterface }
+
+// Dispatch implements rt.Impl.
+func (m *Metaclass) Dispatch(inv *rt.Invocation) ([][]byte, error) {
+	switch inv.Method {
+	case "NewClassID":
+		return m.newClassID(inv)
+	case "WhoIsResponsible":
+		return m.whoIsResponsible(inv)
+	case "LocateClass":
+		return m.locateClass(inv)
+	case "RegisterClassBinding":
+		return m.registerClassBinding(inv)
+	}
+	return m.ClassImpl.Dispatch(inv)
+}
+
+// newClassID allocates a fresh Class Identifier and records the
+// responsibility pair ⟨creator, new class⟩ (§4.1.3: "When a new class
+// object D is created, the creating class C contacts LegionClass for a
+// new Class Identifier ... At this time, LegionClass can record that C
+// is responsible for locating D").
+func (m *Metaclass) newClassID(inv *rt.Invocation) ([][]byte, error) {
+	creator, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	name, err := argString(inv, 1)
+	if err != nil {
+		return nil, err
+	}
+	if creator.IsNil() {
+		return nil, fmt.Errorf("LegionClass: NewClassID needs a creator")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.names[id] = name
+	m.pairs[loid.LOID{ClassID: id}] = creator.ID()
+	return [][]byte{wire.Uint64(id)}, nil
+}
+
+func (m *Metaclass) whoIsResponsible(inv *rt.Invocation) ([][]byte, error) {
+	cl, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	creator, ok := m.pairs[cl.ID()]
+	if !ok {
+		return nil, fmt.Errorf("LegionClass: no responsibility pair for %v", cl)
+	}
+	return [][]byte{wire.LOID(creator)}, nil
+}
+
+// locateClass is the agent-facing class location step (§4.1.3): for a
+// class LegionClass holds a binding for, answer (direct=true, binding);
+// otherwise answer (direct=false, responsible) and the caller recurses.
+func (m *Metaclass) locateClass(inv *rt.Invocation) ([][]byte, error) {
+	cl, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	if !cl.IsClass() {
+		return nil, fmt.Errorf("LegionClass: %v is not a class LOID", cl)
+	}
+	m.mu.Lock()
+	addr, direct := m.bindings[cl.ID()]
+	creator, hasPair := m.pairs[cl.ID()]
+	m.mu.Unlock()
+	if direct {
+		b := binding.Forever(cl, addr)
+		return [][]byte{wire.Bool(true), wire.Binding(b), wire.LOID(loid.Nil)}, nil
+	}
+	if hasPair {
+		return [][]byte{wire.Bool(false), wire.Binding(binding.Binding{}), wire.LOID(creator)}, nil
+	}
+	return nil, fmt.Errorf("LegionClass: unknown class %v", cl)
+}
+
+// registerClassBinding records where a class object is reachable.
+// Bootstrap uses it for the core Abstract classes; class objects also
+// refresh their own entry here if they migrate ("class bindings change
+// very slowly", §5.2.2).
+func (m *Metaclass) registerClassBinding(inv *rt.Invocation) ([][]byte, error) {
+	cl, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := inv.Arg(1)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := wire.AsAddress(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !cl.IsClass() {
+		return nil, fmt.Errorf("LegionClass: %v is not a class LOID", cl)
+	}
+	m.mu.Lock()
+	m.bindings[cl.ID()] = addr
+	m.mu.Unlock()
+	return nil, nil
+}
+
+// SaveState implements rt.Impl: LegionClass persists its allocation
+// counter, pairs, direct bindings, and its inherited class state.
+func (m *Metaclass) SaveState() ([]byte, error) {
+	base, err := m.ClassImpl.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &writer{}
+	w.u64(m.nextID)
+	w.u64(uint64(len(m.pairs)))
+	for cl, creator := range m.pairs {
+		w.loid(cl)
+		w.loid(creator)
+	}
+	w.u64(uint64(len(m.bindings)))
+	for cl, addr := range m.bindings {
+		w.loid(cl)
+		w.addr(addr)
+	}
+	w.u64(uint64(len(m.names)))
+	for id, name := range m.names {
+		w.u64(id)
+		w.str(name)
+	}
+	w.bytes(base)
+	return w.buf, nil
+}
+
+// RestoreState implements rt.Impl.
+func (m *Metaclass) RestoreState(state []byte) error {
+	if len(state) == 0 {
+		return nil
+	}
+	r := &reader{buf: state}
+	nextID, err := r.u64()
+	if err != nil {
+		return err
+	}
+	np, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if np > uint64(len(r.buf))/(2*loid.EncodedSize) {
+		return fmt.Errorf("class: pair count %d exceeds buffer", np)
+	}
+	pairs := make(map[loid.LOID]loid.LOID, np)
+	for i := uint64(0); i < np; i++ {
+		cl, err := r.loid()
+		if err != nil {
+			return err
+		}
+		creator, err := r.loid()
+		if err != nil {
+			return err
+		}
+		pairs[cl] = creator
+	}
+	nb, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if nb > uint64(len(r.buf))/loid.EncodedSize {
+		return fmt.Errorf("class: binding count %d exceeds buffer", nb)
+	}
+	bindings := make(map[loid.LOID]oa.Address, nb)
+	for i := uint64(0); i < nb; i++ {
+		cl, err := r.loid()
+		if err != nil {
+			return err
+		}
+		addr, err := r.addr()
+		if err != nil {
+			return err
+		}
+		bindings[cl] = addr
+	}
+	nn, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if nn > uint64(len(r.buf))/12 {
+		return fmt.Errorf("class: name count %d exceeds buffer", nn)
+	}
+	names := make(map[uint64]string, nn)
+	for i := uint64(0); i < nn; i++ {
+		id, err := r.u64()
+		if err != nil {
+			return err
+		}
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		names[id] = name
+	}
+	base, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	if err := m.ClassImpl.RestoreState(base); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.nextID = nextID
+	m.pairs = pairs
+	m.bindings = bindings
+	m.names = names
+	m.mu.Unlock()
+	return nil
+}
+
+// ClassName reports the registered name for a class id (diagnostics).
+func (m *Metaclass) ClassName(id uint64) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.names[id]
+	return n, ok
+}

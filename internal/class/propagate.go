@@ -1,0 +1,143 @@
+package class
+
+import (
+	"sync"
+
+	"repro/internal/binding"
+	"repro/internal/idl"
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Binding propagation (§4.1.4): "Some classes may even attempt to
+// reduce the number of stale bindings by explicitly propagating news
+// of an object's migration or removal." Binding Agents subscribe to a
+// class; whenever the class learns a new address for one of its
+// objects — or removes one — it pushes AddBinding / InvalidateLOID
+// one-way notifications to every subscriber. Subscriptions are soft
+// state: they do not persist across class deactivation (a restarted
+// class simply stops pushing until agents re-subscribe).
+
+// propagateSigs are the subscription member functions added to the
+// class interface.
+var propagateSigs = []idl.MethodSig{
+	{Name: "SubscribeAgent",
+		Params: []idl.Param{
+			{Name: "agent", Type: idl.TLOID},
+			{Name: "addr", Type: idl.TAddress}}},
+	{Name: "UnsubscribeAgent",
+		Params: []idl.Param{{Name: "agent", Type: idl.TLOID}}},
+}
+
+func init() {
+	for _, sig := range propagateSigs {
+		if err := Interface.Add(sig); err != nil {
+			panic(err)
+		}
+		if err := MetaInterface.Add(sig); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// subscribers tracks agent endpoints interested in this class's
+// binding news.
+type subscribers struct {
+	mu   sync.Mutex
+	subs map[loid.LOID]oa.Address
+}
+
+func (s *subscribers) subscribe(agent loid.LOID, addr oa.Address) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subs == nil {
+		s.subs = make(map[loid.LOID]oa.Address)
+	}
+	s.subs[agent.ID()] = addr
+}
+
+func (s *subscribers) unsubscribe(agent loid.LOID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, agent.ID())
+}
+
+func (s *subscribers) snapshot() map[loid.LOID]oa.Address {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[loid.LOID]oa.Address, len(s.subs))
+	for k, v := range s.subs {
+		out[k] = v
+	}
+	return out
+}
+
+// handlePropagation serves the subscription methods; it returns
+// (handled, results, err).
+func (c *ClassImpl) handlePropagation(inv *rt.Invocation) (bool, [][]byte, error) {
+	switch inv.Method {
+	case "SubscribeAgent":
+		agent, err := argLOID(inv, 0)
+		if err != nil {
+			return true, nil, err
+		}
+		raw, err := inv.Arg(1)
+		if err != nil {
+			return true, nil, err
+		}
+		addr, err := wire.AsAddress(raw)
+		if err != nil {
+			return true, nil, err
+		}
+		c.subs.subscribe(agent, addr)
+		return true, nil, nil
+	case "UnsubscribeAgent":
+		agent, err := argLOID(inv, 0)
+		if err != nil {
+			return true, nil, err
+		}
+		c.subs.unsubscribe(agent)
+		return true, nil, nil
+	}
+	return false, nil, nil
+}
+
+// pushBinding fans a fresh binding out to subscribed agents, one-way.
+func (c *ClassImpl) pushBinding(b binding.Binding) {
+	if c.obj == nil {
+		return
+	}
+	for agent, addr := range c.subs.snapshot() {
+		_ = c.obj.Caller().OneWayAddr(addr, agent, "AddBinding", wire.Binding(b))
+	}
+}
+
+// pushInvalidate tells subscribed agents an object is gone.
+func (c *ClassImpl) pushInvalidate(l loid.LOID) {
+	if c.obj == nil {
+		return
+	}
+	for agent, addr := range c.subs.snapshot() {
+		_ = c.obj.Caller().OneWayAddr(addr, agent, "InvalidateLOID", wire.LOID(l))
+	}
+}
+
+// SubscribeAgent is the client-side call.
+func (cl *Client) SubscribeAgent(agent loid.LOID, addr oa.Address) error {
+	res, err := cl.c.Call(cl.cls, "SubscribeAgent", wire.LOID(agent), wire.Address(addr))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// UnsubscribeAgent is the client-side call.
+func (cl *Client) UnsubscribeAgent(agent loid.LOID) error {
+	res, err := cl.c.Call(cl.cls, "UnsubscribeAgent", wire.LOID(agent))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}

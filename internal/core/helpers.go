@@ -1,0 +1,15 @@
+package core
+
+import (
+	"repro/internal/binding"
+	"repro/internal/loid"
+	"repro/internal/oa"
+)
+
+func bindingFor(l loid.LOID, addr oa.Address) binding.Binding {
+	return binding.Forever(l, addr)
+}
+
+func newCache(capacity int) *binding.Cache {
+	return binding.NewCache(capacity)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bindagent"
+	"repro/internal/class"
+	"repro/internal/host"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/magistrate"
+	"repro/internal/metrics"
+	"repro/internal/oa"
+	"repro/internal/rt"
+	"repro/internal/transport"
+)
+
+// NetInfo is the serialized contact sheet of a TCP-transport Legion
+// system: everything an external process needs to join (as a host) or
+// to act as a client. It is this implementation's equivalent of the
+// out-of-band configuration the paper's bootstrap relies on (§4.2.1).
+type NetInfo struct {
+	// LegionClass is the metaclass endpoint as "host:port".
+	LegionClass string `json:"legion_class"`
+	// Leaves lists leaf Binding Agents as (LOID text, "host:port").
+	Leaves []NetRef `json:"leaves"`
+	// Magistrates lists the jurisdictions' magistrates.
+	Magistrates []NetRef `json:"magistrates"`
+}
+
+// NetRef names one object and its TCP endpoint.
+type NetRef struct {
+	LOID string `json:"loid"`
+	Addr string `json:"addr"`
+}
+
+// NetInfo produces the contact sheet; it fails for non-TCP systems.
+func (s *System) NetInfo() (*NetInfo, error) {
+	lc, ok := oa.IPHostPort(s.LegionClassAddr.Primary())
+	if !ok {
+		return nil, fmt.Errorf("core: system is not TCP-addressable")
+	}
+	ni := &NetInfo{LegionClass: lc}
+	for _, leaf := range s.Leaves {
+		hp, ok := oa.IPHostPort(leaf.Addr.Primary())
+		if !ok {
+			return nil, fmt.Errorf("core: leaf agent %v not TCP-addressable", leaf.LOID)
+		}
+		ni.Leaves = append(ni.Leaves, NetRef{LOID: leaf.LOID.String(), Addr: hp})
+	}
+	for _, j := range s.Jurisdictions {
+		hp, ok := oa.IPHostPort(j.MagistrateAddr.Primary())
+		if !ok {
+			return nil, fmt.Errorf("core: magistrate %v not TCP-addressable", j.Magistrate)
+		}
+		ni.Magistrates = append(ni.Magistrates, NetRef{LOID: j.Magistrate.String(), Addr: hp})
+	}
+	return ni, nil
+}
+
+// WriteNetInfo writes the contact sheet to path as JSON.
+func (s *System) WriteNetInfo(path string) error {
+	ni, err := s.NetInfo()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(ni, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadNetInfo reads a contact sheet written by WriteNetInfo.
+func LoadNetInfo(path string) (*NetInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ni NetInfo
+	if err := json.Unmarshal(data, &ni); err != nil {
+		return nil, fmt.Errorf("core: parse %s: %w", path, err)
+	}
+	if ni.LegionClass == "" || len(ni.Leaves) == 0 {
+		return nil, fmt.Errorf("core: %s is incomplete", path)
+	}
+	return &ni, nil
+}
+
+func (r NetRef) resolve() (loid.LOID, oa.Address, error) {
+	l, err := loid.Parse(r.LOID)
+	if err != nil {
+		return loid.Nil, oa.Address{}, err
+	}
+	elem, err := oa.TCPElement(r.Addr)
+	if err != nil {
+		return loid.Nil, oa.Address{}, err
+	}
+	return l, oa.Single(elem), nil
+}
+
+// Remote is a process-local attachment to a remote Legion system.
+type Remote struct {
+	Info  *NetInfo
+	Trans transport.Transport
+	Reg   *metrics.Registry
+
+	leafLOID loid.LOID
+	leafAddr oa.Address
+
+	nodes []*rt.Node
+}
+
+// Attach prepares a process to talk to the system described by ni over
+// TCP.
+func Attach(ni *NetInfo) (*Remote, error) {
+	r := &Remote{Info: ni, Trans: &transport.TCP{}, Reg: metrics.NewRegistry()}
+	var err error
+	r.leafLOID, r.leafAddr, err = ni.Leaves[0].resolve()
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewClient builds a caller in this process wired to the remote
+// system's Binding Agents.
+func (r *Remote) NewClient(self loid.LOID) (*rt.Caller, error) {
+	node, err := rt.NewNode(r.Trans, r.Reg, "remote-client")
+	if err != nil {
+		return nil, err
+	}
+	r.nodes = append(r.nodes, node)
+	c := rt.NewCaller(node, self, nil)
+	c.Timeout = 10 * time.Second
+	c.SetResolver(bindagent.NewClient(c, r.leafLOID, r.leafAddr))
+	return c, nil
+}
+
+// JoinedHost is a Host Object this process contributes to the remote
+// system.
+type JoinedHost struct {
+	Host *host.Host
+	LOID loid.LOID
+	Node *rt.Node
+}
+
+// JoinHost starts a Host Object in this process, announces it to
+// LegionHost (§4.2.1), and places it under the given magistrate's
+// jurisdiction. seq must be unique across the system's hosts.
+func (r *Remote) JoinHost(seq uint64, impls *implreg.Registry, magistrateIdx int) (*JoinedHost, error) {
+	if magistrateIdx >= len(r.Info.Magistrates) {
+		return nil, fmt.Errorf("core: magistrate index %d out of range", magistrateIdx)
+	}
+	magL, magAddr, err := r.Info.Magistrates[magistrateIdx].resolve()
+	if err != nil {
+		return nil, err
+	}
+	node, err := rt.NewNode(r.Trans, r.Reg, fmt.Sprintf("joined-host%d", seq))
+	if err != nil {
+		return nil, err
+	}
+	r.nodes = append(r.nodes, node)
+	hl := loid.New(loid.ClassIDLegionHost, seq, loid.DeriveKey(fmt.Sprintf("host/%d", seq)))
+	resFactory := func(self loid.LOID) rt.Resolver {
+		c := rt.NewCaller(node, self, nil)
+		c.Timeout = 10 * time.Second
+		return bindagent.NewClient(c, r.leafLOID, r.leafAddr)
+	}
+	h := host.New(hl, node, impls, resFactory)
+	hostCaller := rt.NewCaller(node, hl, nil)
+	hostCaller.Timeout = 10 * time.Second
+	hostCaller.SetResolver(bindagent.NewClient(hostCaller, r.leafLOID, r.leafAddr))
+	if _, err := node.Spawn(hl, h,
+		rt.WithCaller(hostCaller), rt.WithLabel(fmt.Sprintf("host/%d", seq)),
+		rt.WithConcurrency(host.ServiceConcurrency)); err != nil {
+		return nil, err
+	}
+	// Announce to LegionHost and join the jurisdiction.
+	admin, err := r.NewClient(loid.NewNoKey(299, seq+100))
+	if err != nil {
+		return nil, err
+	}
+	if err := class.NewClient(admin, loid.LegionHost).RegisterInstance(hl, node.Address()); err != nil {
+		return nil, fmt.Errorf("core: register with LegionHost: %w", err)
+	}
+	admin.AddBinding(bindingFor(magL, magAddr))
+	if err := magistrate.NewClient(admin, magL).AddHost(hl, node.Address()); err != nil {
+		return nil, fmt.Errorf("core: AddHost: %w", err)
+	}
+	return &JoinedHost{Host: h, LOID: hl, Node: node}, nil
+}
+
+// Close tears down the process-local nodes (the remote system is
+// unaffected).
+func (r *Remote) Close() {
+	for _, n := range r.nodes {
+		n.Close()
+	}
+}

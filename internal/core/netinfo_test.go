@@ -1,0 +1,126 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/class"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestTCPSystemWithJoinedHost boots a whole system over real TCP,
+// writes its contact sheet, attaches "another process" through it,
+// contributes a host, and runs objects end to end. This is the
+// multi-process deployment path exercised in-process.
+func TestTCPSystemWithJoinedHost(t *testing.T) {
+	impls := implreg.NewRegistry()
+	impls.MustRegister("counter", counterFactory)
+	sys, err := Boot(Options{
+		Transport:   &transport.TCP{},
+		Impls:       impls,
+		CallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	infoPath := filepath.Join(t.TempDir(), "legion.json")
+	if err := sys.WriteNetInfo(infoPath); err != nil {
+		t.Fatal(err)
+	}
+	ni, err := LoadNetInfo(infoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.LegionClass == "" || len(ni.Leaves) != 1 || len(ni.Magistrates) != 1 {
+		t.Fatalf("net info = %+v", ni)
+	}
+
+	// "Another process": attach via the contact sheet only.
+	remote, err := Attach(ni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	remoteImpls := implreg.NewRegistry()
+	remoteImpls.MustRegister("counter", counterFactory)
+	joined, err := remote.JoinHost(100, remoteImpls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The joined host is announced: LegionHost now counts 2 instances.
+	boot := sys.BootClient()
+	info, err := class.NewClient(boot, loid.LegionHost).Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Instances != 2 {
+		t.Errorf("LegionHost instances = %d, want 2", info.Instances)
+	}
+
+	// Derive a class and create instances pinned to the joined host —
+	// they run in the "remote process".
+	cl, _, err := sys.DeriveClass("Counter", "counter", counterInterface(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := cl.Create(nil, sys.Jurisdictions[0].Magistrate, joined.LOID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Host.Running() != 1 {
+		t.Errorf("joined host runs %d objects, want 1", joined.Host.Running())
+	}
+
+	// A client attached purely through the contact sheet reaches it.
+	user, err := remote.NewClient(loid.NewNoKey(300, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := user.Call(obj, "Inc")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("remote call: %v %v", res, err)
+	}
+	raw, _ := res.Result(0)
+	if v, _ := wire.AsUint64(raw); v != 1 {
+		t.Errorf("Inc = %d", v)
+	}
+}
+
+func TestNetInfoRejectsMemSystems(t *testing.T) {
+	sys := bootSys(t, Options{})
+	if _, err := sys.NetInfo(); err == nil {
+		t.Error("NetInfo succeeded for mem transport")
+	}
+}
+
+func TestLoadNetInfoErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadNetInfo(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	writeFile(t, bad, "{not json")
+	if _, err := LoadNetInfo(bad); err == nil {
+		t.Error("malformed json accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	writeFile(t, empty, "{}")
+	if _, err := LoadNetInfo(empty); err == nil {
+		t.Error("incomplete info accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

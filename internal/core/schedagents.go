@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+// Scheduling Agent implementation names registered by every booted
+// system. A Scheduling Agent is an ordinary Legion object: it is
+// created through Create() on a class derived at first use, placed by
+// a Magistrate, and consulted by classes through the §3.7 scheduling
+// hook.
+const (
+	SchedRoundRobinImpl  = "sched.round-robin"
+	SchedRandomImpl      = "sched.random"
+	SchedLeastLoadedImpl = "sched.least-loaded"
+)
+
+func registerSchedImpls(impls *implreg.Registry) {
+	if impls.Has(SchedRoundRobinImpl) {
+		return
+	}
+	impls.MustRegisterConcurrent(SchedRoundRobinImpl, func() rt.Impl {
+		return sched.NewAgent(&sched.RoundRobin{})
+	})
+	impls.MustRegisterConcurrent(SchedRandomImpl, func() rt.Impl {
+		return sched.NewAgent(sched.NewRandom(1))
+	})
+	impls.MustRegisterConcurrent(SchedLeastLoadedImpl, func() rt.Impl {
+		return sched.NewAgent(sched.LeastLoaded{})
+	})
+}
+
+// NewSchedulingAgent creates a Scheduling Agent object running the
+// given policy implementation (one of the Sched*Impl names) and
+// returns its LOID. The agent's class is derived from LegionObject on
+// first use.
+func (s *System) NewSchedulingAgent(impl string) (loid.LOID, error) {
+	if !s.Impls.Has(impl) {
+		return loid.Nil, fmt.Errorf("core: unknown scheduling policy implementation %q", impl)
+	}
+	s.mu.Lock()
+	cl, ok := s.schedClasses[impl]
+	s.mu.Unlock()
+	if !ok {
+		name := "SchedulingAgent-" + impl
+		client, _, err := s.DeriveClass(name, impl, sched.Interface, 0)
+		if err != nil {
+			return loid.Nil, fmt.Errorf("core: derive %s: %w", name, err)
+		}
+		s.mu.Lock()
+		s.schedClasses[impl] = client
+		cl = client
+		s.mu.Unlock()
+	}
+	agent, b, err := cl.Create(nil, loid.Nil, loid.Nil)
+	if err != nil {
+		return loid.Nil, err
+	}
+	s.boot.AddBinding(b)
+	return agent, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loid"
+	"repro/internal/magistrate"
+	"repro/internal/wire"
+)
+
+// TestDiskBackedVault boots a system whose jurisdiction storage is a
+// real directory: deactivation produces an .opr file (the paper's
+// "Object Persistent Address will typically be a file name", §3.1.1),
+// reactivation consumes it, and the state round-trips through disk.
+func TestDiskBackedVault(t *testing.T) {
+	vaultDir := t.TempDir()
+	sys := bootSys(t, Options{VaultDir: vaultDir})
+	cl, _, err := sys.DeriveClass("Counter", "counter", counterInterface(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := cl.Create(nil, loid.Nil, loid.Nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := sys.NewClient(loid.NewNoKey(300, 1))
+	for i := 0; i < 3; i++ {
+		if res, err := user.Call(obj, "Inc"); err != nil || res.Code != wire.OK {
+			t.Fatalf("Inc: %v %v", res, err)
+		}
+	}
+
+	mag := magistrate.NewClient(sys.BootClient(), sys.Jurisdictions[0].Magistrate)
+	if err := mag.Deactivate(obj); err != nil {
+		t.Fatal(err)
+	}
+	// The OPR is a real file on disk.
+	files := oprFiles(t, vaultDir)
+	if len(files) != 1 {
+		t.Fatalf("vault files after deactivate = %v", files)
+	}
+	if sys.Jurisdictions[0].StoredOPRs() != 1 {
+		t.Error("StoredOPRs disagrees with the directory")
+	}
+
+	// Reactivation reads the file and continues the state.
+	res, err := user.Call(obj, "Inc")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("Inc after reactivation: %v %v", res, err)
+	}
+	raw, _ := res.Result(0)
+	if v, _ := wire.AsUint64(raw); v != 4 {
+		t.Errorf("counter = %d after disk round trip, want 4", v)
+	}
+	if files := oprFiles(t, vaultDir); len(files) != 0 {
+		t.Errorf("stale OPR files after reactivation: %v", files)
+	}
+}
+
+func oprFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".opr") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

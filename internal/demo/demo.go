@@ -1,0 +1,283 @@
+// Package demo provides small, complete Legion object implementations
+// used by the command-line tools and the examples: a counter, an echo
+// service, and a persistent key-value store. They demonstrate the
+// SaveState/RestoreState contract (their state survives deactivation
+// and migration) and give the IDL, runtime, and lifecycle machinery
+// realistic application payloads.
+package demo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/idl"
+	"repro/internal/implreg"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Implementation names, as registered by RegisterAll.
+const (
+	CounterImpl = "demo.counter"
+	EchoImpl    = "demo.echo"
+	KVImpl      = "demo.kv"
+)
+
+// RegisterAll installs every demo implementation into reg.
+func RegisterAll(reg *implreg.Registry) {
+	reg.MustRegister(CounterImpl, NewCounter)
+	reg.MustRegister(EchoImpl, NewEcho)
+	reg.MustRegister(KVImpl, NewKV)
+}
+
+// CounterIDL is the counter's interface in IDL source form, as a
+// Legion-aware compiler would emit it (§4.1).
+const CounterIDL = `
+interface Counter {
+	Add(delta int64) returns (value int64);
+	Get() returns (value int64);
+}
+`
+
+// CounterInterface is provided by counter_gen.go, generated with
+// `legion-idl gen` from CounterIDL — see TestGeneratedMatchesIDL for
+// the equivalence check.
+
+// NewCounter builds a counter instance.
+func NewCounter() rt.Impl {
+	var (
+		mu sync.Mutex
+		v  int64
+	)
+	return &rt.Behavior{
+		Iface: CounterInterface(),
+		Handlers: map[string]rt.Handler{
+			"Add": func(inv *rt.Invocation) ([][]byte, error) {
+				raw, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				d, err := wire.AsInt64(raw)
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				v += d
+				out := v
+				mu.Unlock()
+				return [][]byte{wire.Int64(out)}, nil
+			},
+			"Get": func(inv *rt.Invocation) ([][]byte, error) {
+				mu.Lock()
+				out := v
+				mu.Unlock()
+				return [][]byte{wire.Int64(out)}, nil
+			},
+		},
+		Save: func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return wire.Int64(v), nil
+		},
+		Restore: func(s []byte) error {
+			if len(s) == 0 {
+				return nil
+			}
+			val, err := wire.AsInt64(s)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			v = val
+			mu.Unlock()
+			return nil
+		},
+	}
+}
+
+// EchoIDL is the echo service's interface.
+const EchoIDL = `
+interface Echo {
+	Echo(message string) returns (message string);
+	Reverse(message string) returns (message string);
+}
+`
+
+// EchoInterface parses EchoIDL.
+func EchoInterface() *idl.Interface {
+	in, err := idl.ParseOne(EchoIDL)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// NewEcho builds an echo instance (stateless).
+func NewEcho() rt.Impl {
+	return &rt.Behavior{
+		Iface: EchoInterface(),
+		Handlers: map[string]rt.Handler{
+			"Echo": func(inv *rt.Invocation) ([][]byte, error) {
+				raw, err := inv.Arg(0)
+				return [][]byte{raw}, err
+			},
+			"Reverse": func(inv *rt.Invocation) ([][]byte, error) {
+				raw, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				runes := []rune(wire.AsString(raw))
+				for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+					runes[i], runes[j] = runes[j], runes[i]
+				}
+				return [][]byte{wire.String(string(runes))}, nil
+			},
+		},
+	}
+}
+
+// KVIDL is the key-value store's interface.
+const KVIDL = `
+interface KV {
+	Put(key string, value bytes);
+	Get(key string) returns (value bytes, found bool);
+	Delete(key string) returns (found bool);
+	Keys() returns (keys bytes);
+	Len() returns (n uint64);
+}
+`
+
+// KVInterface parses KVIDL.
+func KVInterface() *idl.Interface {
+	in, err := idl.ParseOne(KVIDL)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// NewKV builds a key-value store instance whose contents persist
+// through SaveState/RestoreState — the "remote files and data" the
+// paper's single name space is meant to make accessible (§1).
+func NewKV() rt.Impl {
+	var (
+		mu sync.Mutex
+		m  = make(map[string][]byte)
+	)
+	return &rt.Behavior{
+		Iface: KVInterface(),
+		Handlers: map[string]rt.Handler{
+			"Put": func(inv *rt.Invocation) ([][]byte, error) {
+				k, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				v, err := inv.Arg(1)
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				m[wire.AsString(k)] = append([]byte(nil), v...)
+				mu.Unlock()
+				return nil, nil
+			},
+			"Get": func(inv *rt.Invocation) ([][]byte, error) {
+				k, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				v, ok := m[wire.AsString(k)]
+				mu.Unlock()
+				return [][]byte{v, wire.Bool(ok)}, nil
+			},
+			"Delete": func(inv *rt.Invocation) ([][]byte, error) {
+				k, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				key := wire.AsString(k)
+				mu.Lock()
+				_, ok := m[key]
+				delete(m, key)
+				mu.Unlock()
+				return [][]byte{wire.Bool(ok)}, nil
+			},
+			"Keys": func(inv *rt.Invocation) ([][]byte, error) {
+				mu.Lock()
+				keys := make([]string, 0, len(m))
+				for k := range m {
+					keys = append(keys, k)
+				}
+				mu.Unlock()
+				sort.Strings(keys)
+				return [][]byte{wire.StringList(keys)}, nil
+			},
+			"Len": func(inv *rt.Invocation) ([][]byte, error) {
+				mu.Lock()
+				n := uint64(len(m))
+				mu.Unlock()
+				return [][]byte{wire.Uint64(n)}, nil
+			},
+		},
+		Save: func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			out := binary.BigEndian.AppendUint32(nil, uint32(len(keys)))
+			for _, k := range keys {
+				out = binary.BigEndian.AppendUint32(out, uint32(len(k)))
+				out = append(out, k...)
+				out = binary.BigEndian.AppendUint32(out, uint32(len(m[k])))
+				out = append(out, m[k]...)
+			}
+			return out, nil
+		},
+		Restore: func(s []byte) error {
+			if len(s) == 0 {
+				return nil
+			}
+			if len(s) < 4 {
+				return fmt.Errorf("demo.kv: short state")
+			}
+			n := binary.BigEndian.Uint32(s[:4])
+			s = s[4:]
+			next := make(map[string][]byte, n)
+			for i := uint32(0); i < n; i++ {
+				if len(s) < 4 {
+					return fmt.Errorf("demo.kv: truncated key length")
+				}
+				kl := binary.BigEndian.Uint32(s[:4])
+				s = s[4:]
+				if uint32(len(s)) < kl {
+					return fmt.Errorf("demo.kv: truncated key")
+				}
+				k := string(s[:kl])
+				s = s[kl:]
+				if len(s) < 4 {
+					return fmt.Errorf("demo.kv: truncated value length")
+				}
+				vl := binary.BigEndian.Uint32(s[:4])
+				s = s[4:]
+				if uint32(len(s)) < vl {
+					return fmt.Errorf("demo.kv: truncated value")
+				}
+				next[k] = append([]byte(nil), s[:vl]...)
+				s = s[vl:]
+			}
+			if len(s) != 0 {
+				return fmt.Errorf("demo.kv: %d trailing state bytes", len(s))
+			}
+			mu.Lock()
+			m = next
+			mu.Unlock()
+			return nil
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package demo
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/implreg"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+func TestRegisterAll(t *testing.T) {
+	reg := implreg.NewRegistry()
+	RegisterAll(reg)
+	for _, name := range []string{CounterImpl, EchoImpl, KVImpl} {
+		if !reg.Has(name) {
+			t.Errorf("missing %s", name)
+		}
+		if _, err := reg.New(name); err != nil {
+			t.Errorf("New(%s): %v", name, err)
+		}
+	}
+}
+
+func dispatch(t *testing.T, impl rt.Impl, method string, args ...[]byte) [][]byte {
+	t.Helper()
+	out, err := impl.Dispatch(&rt.Invocation{Method: method, Args: args})
+	if err != nil {
+		t.Fatalf("%s: %v", method, err)
+	}
+	return out
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	out := dispatch(t, c, "Add", wire.Int64(5))
+	if v, _ := wire.AsInt64(out[0]); v != 5 {
+		t.Errorf("Add = %d", v)
+	}
+	dispatch(t, c, "Add", wire.Int64(-2))
+	out = dispatch(t, c, "Get")
+	if v, _ := wire.AsInt64(out[0]); v != 3 {
+		t.Errorf("Get = %d", v)
+	}
+	// State round trip.
+	blob, err := c.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCounter()
+	if err := c2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	out = dispatch(t, c2, "Get")
+	if v, _ := wire.AsInt64(out[0]); v != 3 {
+		t.Errorf("restored Get = %d", v)
+	}
+	if err := c2.RestoreState(nil); err != nil {
+		t.Error("empty state rejected")
+	}
+	if _, err := c.Dispatch(&rt.Invocation{Method: "Add"}); err == nil {
+		t.Error("Add without args accepted")
+	}
+}
+
+func TestEcho(t *testing.T) {
+	e := NewEcho()
+	out := dispatch(t, e, "Echo", wire.String("hello"))
+	if wire.AsString(out[0]) != "hello" {
+		t.Errorf("Echo = %q", out[0])
+	}
+	out = dispatch(t, e, "Reverse", wire.String("héllo"))
+	if wire.AsString(out[0]) != "olléh" {
+		t.Errorf("Reverse = %q", out[0])
+	}
+}
+
+func TestKV(t *testing.T) {
+	kv := NewKV()
+	dispatch(t, kv, "Put", wire.String("a"), []byte("1"))
+	dispatch(t, kv, "Put", wire.String("b"), []byte("2"))
+	out := dispatch(t, kv, "Get", wire.String("a"))
+	found, _ := wire.AsBool(out[1])
+	if !found || !bytes.Equal(out[0], []byte("1")) {
+		t.Errorf("Get = %q, %v", out[0], found)
+	}
+	out = dispatch(t, kv, "Get", wire.String("zz"))
+	if found, _ := wire.AsBool(out[1]); found {
+		t.Error("missing key found")
+	}
+	out = dispatch(t, kv, "Keys")
+	keys, err := wire.AsStringList(out[0])
+	if err != nil || len(keys) != 2 || keys[0] != "a" {
+		t.Errorf("Keys = %v, %v", keys, err)
+	}
+	out = dispatch(t, kv, "Len")
+	if n, _ := wire.AsUint64(out[0]); n != 2 {
+		t.Errorf("Len = %d", n)
+	}
+
+	// State round trip.
+	blob, err := kv.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv2 := NewKV()
+	if err := kv2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	out = dispatch(t, kv2, "Get", wire.String("b"))
+	if !bytes.Equal(out[0], []byte("2")) {
+		t.Errorf("restored Get = %q", out[0])
+	}
+	// Truncated states rejected.
+	for _, n := range []int{2, 5, len(blob) - 1} {
+		if err := kv2.RestoreState(blob[:n]); err == nil {
+			t.Errorf("truncated state (%d) accepted", n)
+		}
+	}
+
+	out = dispatch(t, kv, "Delete", wire.String("a"))
+	if ok, _ := wire.AsBool(out[0]); !ok {
+		t.Error("Delete missed")
+	}
+	out = dispatch(t, kv, "Delete", wire.String("a"))
+	if ok, _ := wire.AsBool(out[0]); ok {
+		t.Error("double Delete found key")
+	}
+}
+
+func TestInterfacesParse(t *testing.T) {
+	if !CounterInterface().Has("Add") || !EchoInterface().Has("Reverse") || !KVInterface().Has("Put") {
+		t.Error("IDL interfaces incomplete")
+	}
+}

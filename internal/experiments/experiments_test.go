@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllQuick runs every experiment at Quick scale and checks the
+// structural invariants of the produced tables: rows exist, column
+// arity matches, and the paper-claim verdict is positive ("holds").
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-heavy")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := r.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s failed: %v", r.ID, err)
+			}
+			if tbl.ID != r.ID {
+				t.Errorf("table id %q, runner %q", tbl.ID, r.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("row %d has %d cells, %d columns", i, len(row), len(tbl.Columns))
+				}
+			}
+			if tbl.Claim == "" || tbl.Title == "" {
+				t.Error("missing claim/title")
+			}
+			if !strings.HasPrefix(tbl.Finding, "holds") {
+				t.Errorf("claim did not hold: %s", tbl.Finding)
+			}
+			out := tbl.Format()
+			if !strings.Contains(out, tbl.ID) || !strings.Contains(out, "Finding:") {
+				t.Errorf("Format output malformed:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if r := Find("E3"); r == nil || r.ID != "E3" {
+		t.Error("Find by id failed")
+	}
+	if r := Find("combining-tree"); r == nil || r.ID != "E3" {
+		t.Error("Find by name failed")
+	}
+	if r := Find("e12"); r == nil {
+		t.Error("Find case-insensitive failed")
+	}
+	if Find("E99") != nil {
+		t.Error("Find invented an experiment")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if us(1500*time.Nanosecond) != "1.5µs" {
+		t.Errorf("us = %q", us(1500*time.Nanosecond))
+	}
+	if ratio(1, 0) != "n/a" || ratio(3, 2) != "1.50" {
+		t.Error("ratio wrong")
+	}
+	if per1k(5, 0) != "n/a" || per1k(5, 1000) != "5.0" {
+		t.Error("per1k wrong")
+	}
+	if byteSize(0) != "0B" || byteSize(2048) != "2KiB" || byteSize(1<<21) != "2MiB" {
+		t.Error("byteSize wrong")
+	}
+}

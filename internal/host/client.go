@@ -1,0 +1,143 @@
+package host
+
+import (
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Client is a typed handle for invoking a Host Object's member
+// functions through a communication layer.
+type Client struct {
+	c    *rt.Caller
+	host loid.LOID
+}
+
+// NewClient wraps caller for invocations on the Host Object named h.
+// The caller must be able to bind h (cached binding or resolver).
+func NewClient(c *rt.Caller, h loid.LOID) *Client {
+	return &Client{c: c, host: h}
+}
+
+// Host returns the target Host Object's LOID.
+func (cl *Client) Host() loid.LOID { return cl.host }
+
+// StartObject asks the host to activate object l from (impl, state).
+func (cl *Client) StartObject(l loid.LOID, impl string, state []byte) (oa.Address, error) {
+	res, err := cl.c.Call(cl.host, "StartObject", wire.LOID(l), wire.String(impl), state)
+	if err != nil {
+		return oa.Address{}, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return oa.Address{}, err
+	}
+	return wire.AsAddress(raw)
+}
+
+// StopObject deactivates l, returning its saved state and impl name.
+func (cl *Client) StopObject(l loid.LOID) (state []byte, impl string, err error) {
+	res, err := cl.c.Call(cl.host, "StopObject", wire.LOID(l))
+	if err != nil {
+		return nil, "", err
+	}
+	if state, err = res.Result(0); err != nil {
+		return nil, "", err
+	}
+	rawImpl, err := res.Result(1)
+	if err != nil {
+		return nil, "", err
+	}
+	return state, wire.AsString(rawImpl), nil
+}
+
+// KillObject removes l without saving state.
+func (cl *Client) KillObject(l loid.LOID) error {
+	res, err := cl.c.Call(cl.host, "KillObject", wire.LOID(l))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// HasObject reports whether l is running on the host.
+func (cl *Client) HasObject(l loid.LOID) (bool, error) {
+	res, err := cl.c.Call(cl.host, "HasObject", wire.LOID(l))
+	if err != nil {
+		return false, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return false, err
+	}
+	return wire.AsBool(raw)
+}
+
+// ListObjects returns the objects running on the host.
+func (cl *Client) ListObjects() ([]loid.LOID, error) {
+	res, err := cl.c.Call(cl.host, "ListObjects")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, err
+	}
+	return wire.AsLOIDList(raw)
+}
+
+// State is a host load report.
+type State struct {
+	Objects  uint64
+	CPULimit uint64
+	MemLimit uint64
+}
+
+// GetState fetches the host's load report.
+func (cl *Client) GetState() (State, error) {
+	res, err := cl.c.Call(cl.host, "GetState")
+	if err != nil {
+		return State{}, err
+	}
+	var st State
+	raw, err := res.Result(0)
+	if err != nil {
+		return State{}, err
+	}
+	if st.Objects, err = wire.AsUint64(raw); err != nil {
+		return State{}, err
+	}
+	if raw, err = res.Result(1); err != nil {
+		return State{}, err
+	}
+	if st.CPULimit, err = wire.AsUint64(raw); err != nil {
+		return State{}, err
+	}
+	if raw, err = res.Result(2); err != nil {
+		return State{}, err
+	}
+	if st.MemLimit, err = wire.AsUint64(raw); err != nil {
+		return State{}, err
+	}
+	return st, nil
+}
+
+// SetCPULoad sets the host's concurrent-object capacity (0 removes the
+// limit).
+func (cl *Client) SetCPULoad(limit uint64) error {
+	res, err := cl.c.Call(cl.host, "SetCPULoad", wire.Uint64(limit))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// SetMemoryUsage sets the host's advisory memory budget.
+func (cl *Client) SetMemoryUsage(limit uint64) error {
+	res, err := cl.c.Call(cl.host, "SetMemoryUsage", wire.Uint64(limit))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}

@@ -1,0 +1,328 @@
+package host
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/idl"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/rt"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// counterImpl is a tiny stateful implementation: Inc() bumps a counter
+// whose value round-trips through SaveState/RestoreState.
+func counterFactory() rt.Impl {
+	var n uint64
+	return &rt.Behavior{
+		Iface: idl.NewInterface("Counter",
+			idl.MethodSig{Name: "Inc", Returns: []idl.Param{{Name: "n", Type: idl.TUint64}}},
+			idl.MethodSig{Name: "Get", Returns: []idl.Param{{Name: "n", Type: idl.TUint64}}},
+		),
+		Handlers: map[string]rt.Handler{
+			"Inc": func(inv *rt.Invocation) ([][]byte, error) {
+				n++
+				return [][]byte{wire.Uint64(n)}, nil
+			},
+			"Get": func(inv *rt.Invocation) ([][]byte, error) {
+				return [][]byte{wire.Uint64(n)}, nil
+			},
+		},
+		Save: func() ([]byte, error) { return wire.Uint64(n), nil },
+		Restore: func(s []byte) error {
+			v, err := wire.AsUint64(s)
+			n = v
+			return err
+		},
+	}
+}
+
+type hostFixture struct {
+	fabric *transport.Fabric
+	host   *Host
+	hostL  loid.LOID
+	client *Client
+	caller *rt.Caller
+}
+
+func newHostFixture(t *testing.T) *hostFixture {
+	t.Helper()
+	f := transport.NewFabric(nil)
+	t.Cleanup(func() { f.Close() })
+	impls := implreg.NewRegistry()
+	impls.MustRegister("counter", counterFactory)
+
+	hostNode, err := rt.NewNode(f, nil, "host0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hostNode.Close() })
+	hostL := loid.NewNoKey(loid.ClassIDLegionHost, 1)
+	h := New(hostL, hostNode, impls, nil)
+	if _, err := hostNode.Spawn(hostL, h); err != nil {
+		t.Fatal(err)
+	}
+
+	clientNode, err := rt.NewNode(f, nil, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clientNode.Close() })
+	caller := rt.NewCaller(clientNode, loid.NewNoKey(300, 1), nil)
+	caller.Timeout = time.Second
+	caller.AddBinding(binding.Forever(hostL, hostNode.Address()))
+	return &hostFixture{fabric: f, host: h, hostL: hostL, client: NewClient(caller, hostL), caller: caller}
+}
+
+var objL = loid.NewNoKey(256, 1)
+
+func TestStartObjectAndInvoke(t *testing.T) {
+	fx := newHostFixture(t)
+	addr, err := fx.client.StartObject(objL, "counter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !addr.Equal(fx.host.Address()) {
+		t.Errorf("addr = %v, want host address", addr)
+	}
+	fx.caller.AddBinding(binding.Forever(objL, addr))
+	res, err := fx.caller.Call(objL, "Inc")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("Inc: %v %v", res, err)
+	}
+	if fx.host.Running() != 1 {
+		t.Errorf("Running = %d", fx.host.Running())
+	}
+}
+
+func TestStartObjectIdempotent(t *testing.T) {
+	fx := newHostFixture(t)
+	a1, err := fx.client.StartObject(objL, "counter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := fx.client.StartObject(objL, "counter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Error("re-activation changed address")
+	}
+	if fx.host.Running() != 1 {
+		t.Errorf("Running = %d", fx.host.Running())
+	}
+}
+
+func TestStartObjectUnknownImpl(t *testing.T) {
+	fx := newHostFixture(t)
+	if _, err := fx.client.StartObject(objL, "ghost", nil); err == nil {
+		t.Error("unknown impl started")
+	}
+}
+
+func TestStartObjectRestoresState(t *testing.T) {
+	fx := newHostFixture(t)
+	addr, err := fx.client.StartObject(objL, "counter", wire.Uint64(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.caller.AddBinding(binding.Forever(objL, addr))
+	res, err := fx.caller.Call(objL, "Inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := res.Result(0)
+	if v, _ := wire.AsUint64(raw); v != 42 {
+		t.Errorf("counter after restore = %d, want 42", v)
+	}
+}
+
+func TestStopObjectSavesState(t *testing.T) {
+	fx := newHostFixture(t)
+	addr, _ := fx.client.StartObject(objL, "counter", nil)
+	fx.caller.AddBinding(binding.Forever(objL, addr))
+	for i := 0; i < 5; i++ {
+		fx.caller.Call(objL, "Inc")
+	}
+	state, impl, err := fx.client.StopObject(objL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impl != "counter" {
+		t.Errorf("impl = %q", impl)
+	}
+	if v, _ := wire.AsUint64(state); v != 5 {
+		t.Errorf("saved state = %d, want 5", v)
+	}
+	if fx.host.Running() != 0 {
+		t.Errorf("Running = %d after stop", fx.host.Running())
+	}
+	// The object is gone: callers now observe stale bindings.
+	fx.caller.MaxRefresh = 0
+	res, _ := fx.caller.Call(objL, "Inc")
+	if res.Code != wire.ErrNoSuchObject {
+		t.Errorf("post-stop call = %v", res.Code)
+	}
+	// Reactivation from the saved state continues the count.
+	addr, err = fx.client.StartObject(objL, impl, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.caller.MaxRefresh = 2
+	res, err = fx.caller.Call(objL, "Inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := res.Result(0)
+	if v, _ := wire.AsUint64(raw); v != 6 {
+		t.Errorf("counter after reactivation = %d, want 6", v)
+	}
+}
+
+func TestStopUnknownObject(t *testing.T) {
+	fx := newHostFixture(t)
+	if _, _, err := fx.client.StopObject(objL); err == nil {
+		t.Error("StopObject of absent object succeeded")
+	}
+}
+
+func TestKillObjectDiscardsState(t *testing.T) {
+	fx := newHostFixture(t)
+	fx.client.StartObject(objL, "counter", nil)
+	if err := fx.client.KillObject(objL); err != nil {
+		t.Fatal(err)
+	}
+	if fx.host.Running() != 0 {
+		t.Error("object survived KillObject")
+	}
+	// Killing an absent object is not an error (idempotent reaping).
+	if err := fx.client.KillObject(objL); err != nil {
+		t.Errorf("idempotent kill: %v", err)
+	}
+}
+
+func TestHasAndListObjects(t *testing.T) {
+	fx := newHostFixture(t)
+	if ok, _ := fx.client.HasObject(objL); ok {
+		t.Error("HasObject before start")
+	}
+	fx.client.StartObject(objL, "counter", nil)
+	other := loid.NewNoKey(256, 2)
+	fx.client.StartObject(other, "counter", nil)
+	if ok, _ := fx.client.HasObject(objL); !ok {
+		t.Error("HasObject after start")
+	}
+	ls, err := fx.client.ListObjects()
+	if err != nil || len(ls) != 2 {
+		t.Errorf("ListObjects = %v, %v", ls, err)
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	fx := newHostFixture(t)
+	if err := fx.client.SetCPULoad(2); err != nil {
+		t.Fatal(err)
+	}
+	fx.client.StartObject(loid.NewNoKey(256, 1), "counter", nil)
+	fx.client.StartObject(loid.NewNoKey(256, 2), "counter", nil)
+	_, err := fx.client.StartObject(loid.NewNoKey(256, 3), "counter", nil)
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("over-capacity start: %v", err)
+	}
+	// Stopping one frees a slot.
+	fx.client.StopObject(loid.NewNoKey(256, 1))
+	if _, err := fx.client.StartObject(loid.NewNoKey(256, 3), "counter", nil); err != nil {
+		t.Errorf("start after free: %v", err)
+	}
+}
+
+func TestGetStateReportsLoad(t *testing.T) {
+	fx := newHostFixture(t)
+	fx.client.SetCPULoad(8)
+	fx.client.SetMemoryUsage(1 << 20)
+	fx.client.StartObject(objL, "counter", nil)
+	st, err := fx.client.GetState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 1 || st.CPULimit != 8 || st.MemLimit != 1<<20 {
+		t.Errorf("state = %+v", st)
+	}
+}
+
+func TestHostStatePersistsLimits(t *testing.T) {
+	fx := newHostFixture(t)
+	fx.client.SetCPULoad(4)
+	fx.client.SetMemoryUsage(77)
+	blob, err := fx.host.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := New(loid.NewNoKey(loid.ClassIDLegionHost, 2), fx.host.Node(), implreg.NewRegistry(), nil)
+	if err := h2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h2.cpuLimit != 4 || h2.memLimit != 77 {
+		t.Errorf("restored limits = %d/%d", h2.cpuLimit, h2.memLimit)
+	}
+	if err := h2.RestoreState([]byte{1, 2, 3}); err == nil {
+		t.Error("bad state accepted")
+	}
+	if err := h2.RestoreState(nil); err != nil {
+		t.Error("empty state rejected")
+	}
+}
+
+// TestConcurrentImplGetsWorkers: implementations registered as
+// concurrency-safe are spawned with multiple dispatch workers — two
+// slow calls overlap instead of serializing.
+func TestConcurrentImplGetsWorkers(t *testing.T) {
+	fx := newHostFixture(t)
+	gate := make(chan struct{})
+	inFlight := make(chan struct{}, 2)
+	fx.host.impls.MustRegisterConcurrent("slowpair", func() rt.Impl {
+		return &rt.Behavior{
+			Iface: idl.NewInterface("SlowPair", idl.MethodSig{Name: "Slow"}),
+			Handlers: map[string]rt.Handler{
+				"Slow": func(inv *rt.Invocation) ([][]byte, error) {
+					inFlight <- struct{}{}
+					<-gate
+					return nil, nil
+				},
+			},
+		}
+	})
+	l := loid.NewNoKey(256, 70)
+	addr, err := fx.client.StartObject(l, "slowpair", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.caller.AddBinding(binding.Forever(l, addr))
+	f1, err := fx.caller.Invoke(l, "Slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fx.caller.Invoke(l, "Slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both calls must be in flight simultaneously.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-inFlight:
+		case <-time.After(2 * time.Second):
+			t.Fatal("second call never started: impl not concurrent")
+		}
+	}
+	close(gate)
+	if _, err := f1.Wait(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Wait(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

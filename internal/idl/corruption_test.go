@@ -1,0 +1,79 @@
+package idl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics fuzzes the binary interface decoder
+// (GetInterface replies cross the network).
+func TestUnmarshalNeverPanics(t *testing.T) {
+	valid := NewInterface("Fuzzed",
+		MethodSig{Name: "A", Params: []Param{{Name: "x", Type: TInt64}}},
+		MethodSig{Name: "B", OneWay: true},
+		MethodSig{Name: "C", Returns: []Param{{Name: "r", Type: TBinding}}},
+	).Marshal(nil)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 6000; i++ {
+		var buf []byte
+		if i%2 == 0 {
+			buf = make([]byte, rng.Intn(len(valid)*2))
+			rng.Read(buf)
+		} else {
+			buf = append([]byte(nil), valid...)
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				if len(buf) > 0 {
+					buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+				}
+			}
+			if rng.Intn(3) == 0 && len(buf) > 0 {
+				buf = buf[:rng.Intn(len(buf))]
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", buf, r)
+				}
+			}()
+			Unmarshal(buf)
+		}()
+	}
+}
+
+// TestParseNeverPanics fuzzes the IDL text parser with random source
+// text and mutations of valid source.
+func TestParseNeverPanics(t *testing.T) {
+	valid := `
+interface Fuzzed {
+	read(offset int64, n int64) returns (data bytes);
+	oneway fire(addr address);
+}`
+	alphabet := "interface(){};, \n\treturnsonewayint64bytesxyz_0"
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 4000; i++ {
+		var src string
+		if i%2 == 0 {
+			var sb strings.Builder
+			for j := 0; j < rng.Intn(120); j++ {
+				sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+			src = sb.String()
+		} else {
+			b := []byte(valid)
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+			}
+			src = string(b)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+}

@@ -1,0 +1,274 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+func sig(name string, oneWay bool, params, returns []Param) MethodSig {
+	return MethodSig{Name: name, OneWay: oneWay, Params: params, Returns: returns}
+}
+
+func TestMethodSigString(t *testing.T) {
+	s := sig("GetBinding", false,
+		[]Param{{"target", TLOID}},
+		[]Param{{"b", TBinding}})
+	want := "GetBinding(target loid) returns (b binding)"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+	ow := sig("Notify", true, nil, nil)
+	if ow.String() != "oneway Notify()" {
+		t.Errorf("String = %q", ow.String())
+	}
+}
+
+func TestMethodSigValidate(t *testing.T) {
+	good := sig("M", false, []Param{{"a", TInt64}}, nil)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid sig rejected: %v", err)
+	}
+	bad := []MethodSig{
+		sig("", false, nil, nil),
+		sig("M", true, nil, []Param{{"r", TInt64}}),
+		sig("M", false, []Param{{"", TInt64}}, nil),
+		sig("M", false, []Param{{"a", Type("float128")}}, nil),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sig %d accepted: %v", i, s)
+		}
+	}
+}
+
+func TestInterfaceAddLookup(t *testing.T) {
+	in := NewInterface("X")
+	if err := in.Add(sig("A", false, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Has("A") || in.Has("B") {
+		t.Error("Has wrong")
+	}
+	got, ok := in.Lookup("A")
+	if !ok || got.Name != "A" {
+		t.Error("Lookup failed")
+	}
+	if err := in.Add(sig("A", false, []Param{{"x", TBool}}, nil)); err == nil {
+		t.Error("conflicting Add accepted")
+	}
+	if err := in.Add(sig("A", false, nil, nil)); err != nil {
+		t.Errorf("identical re-Add rejected: %v", err)
+	}
+}
+
+func TestNilInterfaceLookup(t *testing.T) {
+	var in *Interface
+	if _, ok := in.Lookup("A"); ok {
+		t.Error("nil interface Lookup succeeded")
+	}
+	if in.Len() != 0 || in.Methods() != nil {
+		t.Error("nil interface not empty")
+	}
+}
+
+func TestMergePolicies(t *testing.T) {
+	base := func() *Interface {
+		return NewInterface("C", sig("M", false, []Param{{"a", TInt64}}, nil))
+	}
+	other := NewInterface("B",
+		sig("M", false, []Param{{"b", TString}}, nil),
+		sig("N", false, nil, nil))
+
+	in := base()
+	if err := in.Merge(other, ConflictError); err == nil {
+		t.Error("ConflictError merge accepted conflict")
+	}
+
+	in = base()
+	if err := in.Merge(other, ConflictKeep); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := in.Lookup("M")
+	if m.Params[0].Type != TInt64 {
+		t.Error("ConflictKeep did not keep existing")
+	}
+	if !in.Has("N") {
+		t.Error("merge dropped non-conflicting method")
+	}
+
+	in = base()
+	if err := in.Merge(other, ConflictOverride); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = in.Lookup("M")
+	if m.Params[0].Type != TString {
+		t.Error("ConflictOverride did not override")
+	}
+}
+
+func TestMergeNilIsNoop(t *testing.T) {
+	in := NewInterface("X", sig("A", false, nil, nil))
+	if err := in.Merge(nil, ConflictError); err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 1 {
+		t.Error("nil merge changed interface")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	in := NewInterface("X", sig("A", false, nil, nil))
+	c := in.Clone("Y")
+	if c.Name != "Y" {
+		t.Errorf("Clone name = %q", c.Name)
+	}
+	c.Add(sig("B", false, nil, nil))
+	if in.Has("B") {
+		t.Error("Clone shares state with original")
+	}
+	same := in.Clone("")
+	if same.Name != "X" {
+		t.Errorf("Clone('') name = %q", same.Name)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewInterface("A", sig("M", false, nil, nil), sig("N", false, nil, nil))
+	b := NewInterface("B", sig("N", false, nil, nil), sig("M", false, nil, nil))
+	if !a.Equal(b) {
+		t.Error("order-sensitive Equal")
+	}
+	c := NewInterface("C", sig("M", false, nil, nil))
+	if a.Equal(c) {
+		t.Error("unequal interfaces compared equal")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	in := NewInterface("FileObject",
+		sig("read", false, []Param{{"offset", TInt64}, {"n", TInt64}}, []Param{{"data", TBytes}}),
+		sig("close", true, nil, nil),
+	)
+	got, rest, err := Unmarshal(in.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+	if got.Name != "FileObject" || !got.Equal(in) {
+		t.Errorf("round trip: %s", got.Format())
+	}
+	cl, _ := got.Lookup("close")
+	if !cl.OneWay {
+		t.Error("OneWay flag lost")
+	}
+}
+
+func TestUnmarshalTruncation(t *testing.T) {
+	in := NewInterface("X", sig("M", false, []Param{{"a", TInt64}}, nil))
+	buf := in.Marshal(nil)
+	for n := 0; n < len(buf); n += 3 {
+		if _, _, err := Unmarshal(buf[:n]); err == nil {
+			t.Errorf("prefix of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestFormatSortsMethods(t *testing.T) {
+	in := NewInterface("Z", sig("b", false, nil, nil), sig("a", false, nil, nil))
+	f := in.Format()
+	if strings.Index(f, "a()") > strings.Index(f, "b()") {
+		t.Errorf("Format not sorted:\n%s", f)
+	}
+	if !strings.HasPrefix(f, "interface Z {") {
+		t.Errorf("Format = %q", f)
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	src := `
+// A file object.
+interface FileObject {
+	read(offset int64, n int64) returns (data bytes);
+	write(offset int64, data bytes) returns (n int64);
+	oneway close();
+}
+`
+	in, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Name != "FileObject" || in.Len() != 3 {
+		t.Fatalf("parsed %s with %d methods", in.Name, in.Len())
+	}
+	r, _ := in.Lookup("read")
+	if len(r.Params) != 2 || r.Params[1].Name != "n" || r.Returns[0].Type != TBytes {
+		t.Errorf("read sig = %v", r)
+	}
+	c, _ := in.Lookup("close")
+	if !c.OneWay {
+		t.Error("oneway lost")
+	}
+}
+
+func TestParseMultipleInterfaces(t *testing.T) {
+	src := `
+interface A { m(); }
+# hash comment
+interface B { n(x loid) returns (b binding); }
+`
+	ins, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 || ins[0].Name != "A" || ins[1].Name != "B" {
+		t.Fatalf("parsed %d interfaces", len(ins))
+	}
+}
+
+func TestParseRoundTripThroughFormat(t *testing.T) {
+	in := NewInterface("RT",
+		sig("a", false, []Param{{"x", TString}}, []Param{{"y", TUint64}}),
+		sig("b", true, []Param{{"z", TAddress}}, nil),
+	)
+	back, err := ParseOne(in.Format())
+	if err != nil {
+		t.Fatalf("Format not parseable: %v\n%s", err, in.Format())
+	}
+	if !back.Equal(in) {
+		t.Errorf("format/parse round trip lost methods:\n%s\nvs\n%s", in.Format(), back.Format())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"interface {}",
+		"interface X { m() }",           // missing semicolon
+		"interface X { m(a float32); }", // bad type
+		"interface X { m(a); }",         // missing type
+		"interface X { m(); m(x bool); }",
+		"interface X { oneway m() returns (x bool); }",
+		"interface X { m(a int64,); }",
+		"interface X",
+		"iface X {}",
+		"interface X { m(a int64 b); }",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseEmptyParens(t *testing.T) {
+	in, err := ParseOne("interface X { m(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := in.Lookup("m")
+	if len(m.Params) != 0 || len(m.Returns) != 0 {
+		t.Errorf("m = %v", m)
+	}
+}

@@ -1,0 +1,240 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads IDL source text and returns the interfaces it declares.
+// The grammar, with '//' and '#' line comments:
+//
+//	file       := interface*
+//	interface  := "interface" IDENT "{" method* "}"
+//	method     := ["oneway"] IDENT "(" params? ")" [ "returns" "(" params ")" ] ";"
+//	params     := param ("," param)*
+//	param      := IDENT TYPE
+func Parse(src string) ([]*Interface, error) {
+	p := &parser{toks: lex(src)}
+	var out []*Interface
+	for !p.eof() {
+		in, err := p.parseInterface()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("idl: no interfaces in source")
+	}
+	return out, nil
+}
+
+// ParseOne parses source that must contain exactly one interface.
+func ParseOne(src string) (*Interface, error) {
+	ins, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ins) != 1 {
+		return nil, fmt.Errorf("idl: expected exactly one interface, found %d", len(ins))
+	}
+	return ins[0], nil
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/', c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == ',' || c == ';':
+			toks = append(toks, token{string(c), line})
+			i++
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		default:
+			toks = append(toks, token{string(c), line})
+			i++
+		}
+	}
+	return toks
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(text string) (token, error) {
+	t := p.next()
+	if t.text != text {
+		return t, fmt.Errorf("idl: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) ident(what string) (token, error) {
+	t := p.next()
+	if t.text == "" || !isIdentStart(t.text) {
+		return t, fmt.Errorf("idl: line %d: expected %s, found %q", t.line, what, t.text)
+	}
+	return t, nil
+}
+
+func isIdentStart(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	if _, err := p.expect("interface"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("interface name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	in := &Interface{Name: name.text, methods: map[string]MethodSig{}}
+	for {
+		if p.peek().text == "}" {
+			p.next()
+			return in, nil
+		}
+		if p.eof() {
+			return nil, fmt.Errorf("idl: unexpected end of source in interface %s", in.Name)
+		}
+		sig, err := p.parseMethod()
+		if err != nil {
+			return nil, err
+		}
+		if err := sig.Validate(); err != nil {
+			return nil, err
+		}
+		if err := in.add(sig, ConflictError); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseMethod() (MethodSig, error) {
+	var sig MethodSig
+	t, err := p.ident("method name")
+	if err != nil {
+		return sig, err
+	}
+	if t.text == "oneway" {
+		sig.OneWay = true
+		t, err = p.ident("method name")
+		if err != nil {
+			return sig, err
+		}
+	}
+	sig.Name = t.text
+	if _, err := p.expect("("); err != nil {
+		return sig, err
+	}
+	sig.Params, err = p.parseParams()
+	if err != nil {
+		return sig, err
+	}
+	if p.peek().text == "returns" {
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return sig, err
+		}
+		sig.Returns, err = p.parseParams()
+		if err != nil {
+			return sig, err
+		}
+		if len(sig.Returns) == 0 {
+			return sig, fmt.Errorf("idl: line %d: empty returns clause on %s", p.peek().line, sig.Name)
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return sig, err
+	}
+	return sig, nil
+}
+
+// parseParams consumes params up to and including the closing ')'.
+func (p *parser) parseParams() ([]Param, error) {
+	var ps []Param
+	if p.peek().text == ")" {
+		p.next()
+		return ps, nil
+	}
+	for {
+		name, err := p.ident("parameter name")
+		if err != nil {
+			return nil, err
+		}
+		ty, err := p.ident("parameter type")
+		if err != nil {
+			return nil, err
+		}
+		if !ValidType(Type(ty.text)) {
+			return nil, fmt.Errorf("idl: line %d: unknown type %q (valid: %s)", ty.line, ty.text, strings.Join(typeNames(), ", "))
+		}
+		ps = append(ps, Param{Name: name.text, Type: Type(ty.text)})
+		switch t := p.next(); t.text {
+		case ",":
+		case ")":
+			return ps, nil
+		default:
+			return nil, fmt.Errorf("idl: line %d: expected ',' or ')', found %q", t.line, t.text)
+		}
+	}
+}
+
+func typeNames() []string {
+	return []string{
+		string(TInt64), string(TUint64), string(TString), string(TBool),
+		string(TBytes), string(TLOID), string(TAddress), string(TBinding), string(TTime),
+	}
+}

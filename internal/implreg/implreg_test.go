@@ -1,0 +1,114 @@
+package implreg
+
+import (
+	"testing"
+
+	"repro/internal/idl"
+	"repro/internal/rt"
+)
+
+func dummy() rt.Impl {
+	return &rt.Behavior{Iface: idl.NewInterface("Dummy")}
+}
+
+func TestRegisterAndNew(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("dummy", dummy); err != nil {
+		t.Fatal(err)
+	}
+	impl, err := r.New("dummy")
+	if err != nil || impl == nil {
+		t.Fatalf("New = %v, %v", impl, err)
+	}
+	other, _ := r.New("dummy")
+	if impl == other {
+		t.Error("factory returned a shared instance")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", dummy); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register("x", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	r.Register("x", dummy)
+	if err := r.Register("x", dummy); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.New("ghost"); err == nil {
+		t.Error("unknown implementation instantiated")
+	}
+}
+
+func TestHasAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Register("b", dummy)
+	r.Register("a", dummy)
+	if !r.Has("a") || r.Has("c") {
+		t.Error("Has wrong")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("ok", dummy)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister did not panic on duplicate")
+		}
+	}()
+	r.MustRegister("ok", dummy)
+}
+
+func named(name string) Factory {
+	return func() rt.Impl {
+		return &rt.Behavior{Iface: idl.NewInterface(name, idl.MethodSig{Name: "M" + name})}
+	}
+}
+
+func TestCompositeSpecRoundTrip(t *testing.T) {
+	if s := CompositeSpec([]string{"a"}); s != "a" {
+		t.Errorf("single part spec = %q", s)
+	}
+	s := CompositeSpec([]string{"a", "b"})
+	if s != "composite(a,b)" {
+		t.Errorf("spec = %q", s)
+	}
+	parts := SpecParts(s)
+	if len(parts) != 2 || parts[0] != "a" || parts[1] != "b" {
+		t.Errorf("SpecParts = %v", parts)
+	}
+	if p := SpecParts("plain"); len(p) != 1 || p[0] != "plain" {
+		t.Errorf("SpecParts(plain) = %v", p)
+	}
+}
+
+func TestNewComposite(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("a", named("A"))
+	r.MustRegister("b", named("B"))
+	impl, err := r.New("composite(a,b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impl.Interface().Has("MA") || !impl.Interface().Has("MB") {
+		t.Errorf("composite interface = %s", impl.Interface().Format())
+	}
+	if _, err := r.New("composite(a,ghost)"); err == nil {
+		t.Error("composite with unknown part accepted")
+	}
+	if _, err := r.New("composite()"); err == nil {
+		t.Error("empty composite accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package loid
+
+// Well-known LOIDs for the core Abstract class objects (§2.1.3,
+// §4.2.1). These are fixed at bootstrap: the Abstract class objects are
+// "started exactly once — when the Legion system comes alive", so their
+// names must be known before any binding machinery exists.
+var (
+	// LegionObject is the root of the kind-of/is-a graph; it defines the
+	// object-mandatory member functions.
+	LegionObject = LOID{ClassID: ClassIDLegionObject}
+	// LegionClass defines the class-mandatory member functions and is
+	// the authority for Class Identifiers and responsibility pairs.
+	LegionClass = LOID{ClassID: ClassIDLegionClass}
+	// LegionHost is the class of all Host Objects.
+	LegionHost = LOID{ClassID: ClassIDLegionHost}
+	// LegionMagistrate is the class of all Magistrates.
+	LegionMagistrate = LOID{ClassID: ClassIDMagistrate}
+	// LegionBindingAgent is the class of all Binding Agents.
+	LegionBindingAgent = LOID{ClassID: ClassIDBindingAgent}
+)
+
+// CoreClasses lists the five core Abstract class objects in bootstrap
+// order.
+func CoreClasses() []LOID {
+	return []LOID{LegionObject, LegionClass, LegionHost, LegionMagistrate, LegionBindingAgent}
+}
+
+// IsCoreClass reports whether l names one of the five core Abstract
+// class objects.
+func IsCoreClass(l LOID) bool {
+	return l.ClassSpecific == 0 && l.ClassID >= ClassIDLegionObject && l.ClassID <= ClassIDBindingAgent
+}

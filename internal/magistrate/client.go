@@ -1,0 +1,200 @@
+package magistrate
+
+import (
+	"repro/internal/binding"
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Client is a typed handle for invoking a Magistrate's member
+// functions.
+type Client struct {
+	c *rt.Caller
+	m loid.LOID
+}
+
+// NewClient wraps caller for invocations on the Magistrate named m.
+func NewClient(c *rt.Caller, m loid.LOID) *Client {
+	return &Client{c: c, m: m}
+}
+
+// Magistrate returns the target Magistrate's LOID.
+func (cl *Client) Magistrate() loid.LOID { return cl.m }
+
+// AddHost places a host (and its address) under the magistrate's
+// jurisdiction.
+func (cl *Client) AddHost(h loid.LOID, addr oa.Address) error {
+	res, err := cl.c.Call(cl.m, "AddHost", wire.LOID(h), wire.Address(addr))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// RemoveHost withdraws a host from the jurisdiction.
+func (cl *Client) RemoveHost(h loid.LOID) error {
+	res, err := cl.c.Call(cl.m, "RemoveHost", wire.LOID(h))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// ListHosts enumerates the jurisdiction's hosts.
+func (cl *Client) ListHosts() ([]loid.LOID, error) {
+	res, err := cl.c.Call(cl.m, "ListHosts")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, err
+	}
+	return wire.AsLOIDList(raw)
+}
+
+// Register places a new object's persistent representation under the
+// magistrate's control.
+func (cl *Client) Register(l loid.LOID, impl string, state []byte) error {
+	res, err := cl.c.Call(cl.m, "Register", wire.LOID(l), wire.String(impl), state)
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// Activate makes l a running process on one of the jurisdiction's
+// hosts (if it is not already) and returns its binding. hostHint may be
+// loid.Nil (§3.8: the overloaded Activate).
+func (cl *Client) Activate(l loid.LOID, hostHint loid.LOID) (binding.Binding, error) {
+	res, err := cl.c.Call(cl.m, "Activate", wire.LOID(l), wire.LOID(hostHint))
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	return wire.AsBinding(raw)
+}
+
+// Deactivate moves l to an Object Persistent Representation on the
+// jurisdiction's storage.
+func (cl *Client) Deactivate(l loid.LOID) error {
+	res, err := cl.c.Call(cl.m, "Deactivate", wire.LOID(l))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// Delete removes l from existence: both Active and Inert copies
+// (§3.8).
+func (cl *Client) Delete(l loid.LOID) error {
+	res, err := cl.c.Call(cl.m, "Delete", wire.LOID(l))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// Copy sends l's Object Persistent Representation to another
+// magistrate, keeping the local copy.
+func (cl *Client) Copy(l loid.LOID, to loid.LOID) error {
+	res, err := cl.c.Call(cl.m, "Copy", wire.LOID(l), wire.LOID(to))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// Move migrates l to another magistrate (Copy then Delete, §3.8).
+func (cl *Client) Move(l loid.LOID, to loid.LOID) error {
+	res, err := cl.c.Call(cl.m, "Move", wire.LOID(l), wire.LOID(to))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// GetBinding returns l's binding if it is Active.
+func (cl *Client) GetBinding(l loid.LOID) (binding.Binding, error) {
+	res, err := cl.c.Call(cl.m, "GetBinding", wire.LOID(l))
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	return wire.AsBinding(raw)
+}
+
+// HasObject reports whether the magistrate knows l and whether it is
+// active.
+func (cl *Client) HasObject(l loid.LOID) (known, active bool, err error) {
+	res, err := cl.c.Call(cl.m, "HasObject", wire.LOID(l))
+	if err != nil {
+		return false, false, err
+	}
+	rawK, err := res.Result(0)
+	if err != nil {
+		return false, false, err
+	}
+	if known, err = wire.AsBool(rawK); err != nil {
+		return false, false, err
+	}
+	rawA, err := res.Result(1)
+	if err != nil {
+		return false, false, err
+	}
+	active, err = wire.AsBool(rawA)
+	return known, active, err
+}
+
+// ListObjects enumerates the objects under the magistrate's control.
+func (cl *Client) ListObjects() ([]loid.LOID, error) {
+	res, err := cl.c.Call(cl.m, "ListObjects")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, err
+	}
+	return wire.AsLOIDList(raw)
+}
+
+// AddSubMagistrate enrolls a child magistrate under this one,
+// organizing jurisdictions into a hierarchy (§2.2).
+func (cl *Client) AddSubMagistrate(sub loid.LOID, addr oa.Address) error {
+	res, err := cl.c.Call(cl.m, "AddSubMagistrate", wire.LOID(sub), wire.Address(addr))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// RemoveSubMagistrate withdraws a child magistrate.
+func (cl *Client) RemoveSubMagistrate(sub loid.LOID) error {
+	res, err := cl.c.Call(cl.m, "RemoveSubMagistrate", wire.LOID(sub))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// ListSubMagistrates enumerates the children.
+func (cl *Client) ListSubMagistrates() ([]loid.LOID, error) {
+	res, err := cl.c.Call(cl.m, "ListSubMagistrates")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, err
+	}
+	return wire.AsLOIDList(raw)
+}

@@ -1,0 +1,694 @@
+// Package magistrate implements Legion Magistrates (§2.2, §3.8): the
+// objects in charge of Jurisdictions. A Magistrate manages a set of
+// hosts and some aggregate persistent storage, and performs the
+// activation, deactivation, and migration of the Legion objects under
+// its control. Magistrates are deliberately mechanism, not policy:
+// other objects (classes, Scheduling Agents) call their primitive
+// functions, and a Magistrate — as a likely security boundary — may
+// refuse any request (its MayI policy and activation filter).
+package magistrate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/host"
+	"repro/internal/idl"
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/persist"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Interface is the member-function set every Magistrate exports (§3.8).
+var Interface = idl.NewInterface("LegionMagistrate",
+	idl.MethodSig{Name: "AddHost",
+		Params: []idl.Param{{Name: "host", Type: idl.TLOID}, {Name: "addr", Type: idl.TAddress}}},
+	idl.MethodSig{Name: "RemoveHost",
+		Params: []idl.Param{{Name: "host", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "ListHosts",
+		Returns: []idl.Param{{Name: "hosts", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "Register",
+		Params: []idl.Param{
+			{Name: "object", Type: idl.TLOID},
+			{Name: "impl", Type: idl.TString},
+			{Name: "state", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "Activate",
+		Params:  []idl.Param{{Name: "object", Type: idl.TLOID}, {Name: "hostHint", Type: idl.TLOID}},
+		Returns: []idl.Param{{Name: "b", Type: idl.TBinding}}},
+	idl.MethodSig{Name: "Deactivate",
+		Params: []idl.Param{{Name: "object", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "Delete",
+		Params: []idl.Param{{Name: "object", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "Copy",
+		Params: []idl.Param{{Name: "object", Type: idl.TLOID}, {Name: "to", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "Move",
+		Params: []idl.Param{{Name: "object", Type: idl.TLOID}, {Name: "to", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "ReceiveOPR",
+		Params: []idl.Param{
+			{Name: "object", Type: idl.TLOID},
+			{Name: "impl", Type: idl.TString},
+			{Name: "state", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "GetBinding",
+		Params:  []idl.Param{{Name: "object", Type: idl.TLOID}},
+		Returns: []idl.Param{{Name: "b", Type: idl.TBinding}}},
+	idl.MethodSig{Name: "HasObject",
+		Params:  []idl.Param{{Name: "object", Type: idl.TLOID}},
+		Returns: []idl.Param{{Name: "known", Type: idl.TBool}, {Name: "active", Type: idl.TBool}}},
+	idl.MethodSig{Name: "ListObjects",
+		Returns: []idl.Param{{Name: "objects", Type: idl.TBytes}}},
+)
+
+// ActivationFilter lets a Magistrate implementation refuse to run
+// particular objects or implementations — the DOE example of §2.1.3:
+// resource providers "can build Magistrates that meet their own
+// security and resource access requirements". A nil error admits the
+// object.
+type ActivationFilter func(object loid.LOID, impl string, onHost loid.LOID) error
+
+type record struct {
+	impl    string
+	oprAddr persist.PersistentAddress // set iff inert
+	active  bool
+	// activating marks an in-flight activation: concurrent Activate
+	// calls wait on it rather than starting the object a second time
+	// on another host.
+	activating bool
+	host       loid.LOID  // host running the object, if active
+	addr       oa.Address // object address, if active
+}
+
+// Magistrate is the Magistrate implementation.
+type Magistrate struct {
+	self  loid.LOID
+	store persist.Store
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals activation completion; tied to mu
+	hosts  []hostEntry
+	subs   []subEntry // sub-magistrates (jurisdiction hierarchy, §2.2)
+	rr     int        // round-robin cursor for default placement
+	table  map[loid.LOID]*record
+	filter ActivationFilter
+
+	// BindingTTL bounds the validity of bindings the magistrate hands
+	// out; zero means bindings never explicitly expire (§3.5).
+	BindingTTL time.Duration
+
+	obj *rt.Object
+}
+
+type hostEntry struct {
+	l    loid.LOID
+	addr oa.Address
+}
+
+// New builds a Magistrate persisting OPRs into store.
+func New(self loid.LOID, store persist.Store) *Magistrate {
+	m := &Magistrate{
+		self:  self,
+		store: store,
+		table: make(map[loid.LOID]*record),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// LOID returns the Magistrate's name.
+func (m *Magistrate) LOID() loid.LOID { return m.self }
+
+// SetFilter installs the activation filter (local configuration by the
+// jurisdiction's owner, not a remote method).
+func (m *Magistrate) SetFilter(f ActivationFilter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.filter = f
+}
+
+// Interface implements rt.Impl.
+func (m *Magistrate) Interface() *idl.Interface { return Interface }
+
+// Bind implements rt.Binder.
+func (m *Magistrate) Bind(o *rt.Object) { m.obj = o }
+
+// Dispatch implements rt.Impl.
+func (m *Magistrate) Dispatch(inv *rt.Invocation) ([][]byte, error) {
+	if handled, results, err := m.handleHierarchy(inv); handled {
+		return results, err
+	}
+	switch inv.Method {
+	case "AddHost":
+		return m.addHost(inv)
+	case "RemoveHost":
+		l, err := argLOID(inv, 0)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		for i, h := range m.hosts {
+			if h.l.SameObject(l) {
+				m.hosts = append(m.hosts[:i], m.hosts[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		return nil, nil
+	case "ListHosts":
+		m.mu.Lock()
+		ls := make([]loid.LOID, 0, len(m.hosts))
+		for _, h := range m.hosts {
+			ls = append(ls, h.l)
+		}
+		m.mu.Unlock()
+		return [][]byte{wire.LOIDList(ls)}, nil
+	case "Register", "ReceiveOPR":
+		return m.register(inv)
+	case "Activate":
+		return m.activate(inv)
+	case "Deactivate":
+		return m.deactivate(inv)
+	case "Delete":
+		return m.delete(inv)
+	case "Copy":
+		return m.copyTo(inv, false)
+	case "Move":
+		return m.copyTo(inv, true)
+	case "GetBinding":
+		return m.getBinding(inv)
+	case "HasObject":
+		l, err := argLOID(inv, 0)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		rec, known := m.table[l.ID()]
+		active := known && rec.active
+		m.mu.Unlock()
+		if !known {
+			// The hierarchy presents the union of its jurisdictions.
+			if out, delegated, err := m.delegate(l, func(sc *Client) ([][]byte, error) {
+				k, a, err := sc.HasObject(l)
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{wire.Bool(k), wire.Bool(a)}, nil
+			}); delegated {
+				return out, err
+			}
+		}
+		return [][]byte{wire.Bool(known), wire.Bool(active)}, nil
+	case "ListObjects":
+		m.mu.Lock()
+		ls := make([]loid.LOID, 0, len(m.table))
+		for l := range m.table {
+			ls = append(ls, l)
+		}
+		m.mu.Unlock()
+		return [][]byte{wire.LOIDList(ls)}, nil
+	}
+	return nil, &rt.NoSuchMethodError{Method: inv.Method}
+}
+
+func (m *Magistrate) addHost(inv *rt.Invocation) ([][]byte, error) {
+	l, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := inv.Arg(1)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := wire.AsAddress(raw)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.hosts {
+		if m.hosts[i].l.SameObject(l) {
+			m.hosts[i].addr = addr
+			m.seedHost(l, addr)
+			return nil, nil
+		}
+	}
+	m.hosts = append(m.hosts, hostEntry{l: l, addr: addr})
+	m.seedHost(l, addr)
+	return nil, nil
+}
+
+// seedHost caches the host's binding so the magistrate can call it by
+// LOID.
+func (m *Magistrate) seedHost(l loid.LOID, addr oa.Address) {
+	if m.obj != nil {
+		m.obj.Caller().AddBinding(binding.Forever(l, addr))
+	}
+}
+
+func (m *Magistrate) register(inv *rt.Invocation) ([][]byte, error) {
+	l, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	implName, err := argString(inv, 1)
+	if err != nil {
+		return nil, err
+	}
+	state, err := inv.Arg(2)
+	if err != nil {
+		return nil, err
+	}
+	oprAddr, err := m.store.Put(persist.OPR{LOID: l, Impl: implName, State: state})
+	if err != nil {
+		return nil, fmt.Errorf("magistrate %v: %w", m.self, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.table[l.ID()]; ok && old.oprAddr != "" {
+		// Replace a previous inert representation.
+		_ = m.store.Delete(old.oprAddr)
+	}
+	m.table[l.ID()] = &record{impl: implName, oprAddr: oprAddr}
+	return nil, nil
+}
+
+// activate implements the overloaded Activate(LOID) and
+// Activate(LOID, LOID) of §3.8. The host hint may be the nil LOID.
+func (m *Magistrate) activate(inv *rt.Invocation) ([][]byte, error) {
+	l, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	var hint loid.LOID
+	if len(inv.Args) > 1 {
+		if hint, err = wire.AsLOID(inv.Args[1]); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		m.mu.Lock()
+		rec, ok := m.table[l.ID()]
+		if !ok {
+			m.mu.Unlock()
+			// Delegate down the hierarchy (§2.2).
+			if out, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
+				b, err := sc.Activate(l, hint)
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{wire.Binding(b)}, nil
+			}); delegated {
+				return out, derr
+			}
+			return nil, fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
+		}
+		if rec.active {
+			b := m.bindingLocked(l, rec.addr)
+			m.mu.Unlock()
+			return [][]byte{wire.Binding(b)}, nil
+		}
+		if rec.activating {
+			// Another worker is starting this object; wait for the
+			// outcome and re-examine rather than double-activating.
+			m.cond.Wait()
+			m.mu.Unlock()
+			continue
+		}
+		h, err := m.pickHostLocked(hint)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		implName, oprAddr := rec.impl, rec.oprAddr
+		if m.filter != nil {
+			if ferr := m.filter(l, implName, h.l); ferr != nil {
+				m.mu.Unlock()
+				return nil, fmt.Errorf("magistrate %v refuses to activate %v: %w", m.self, l, ferr)
+			}
+		}
+		rec.activating = true
+		m.mu.Unlock()
+
+		results, err := m.startOn(l, rec, h, oprAddr)
+		m.mu.Lock()
+		rec.activating = false
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return results, err
+	}
+}
+
+// startOn performs the unlocked portion of an activation; exactly one
+// goroutine runs it per object at a time (the activating guard).
+func (m *Magistrate) startOn(l loid.LOID, rec *record, h hostEntry, oprAddr persist.PersistentAddress) ([][]byte, error) {
+	opr, err := m.store.Get(oprAddr)
+	if err != nil {
+		return nil, fmt.Errorf("magistrate %v: opr for %v: %w", m.self, l, err)
+	}
+	hc := host.NewClient(m.obj.Caller(), h.l)
+	addr, err := hc.StartObject(l, opr.Impl, opr.State)
+	if err != nil {
+		return nil, fmt.Errorf("magistrate %v: start %v on %v: %w", m.self, l, h.l, err)
+	}
+	// The state now lives in the running object; drop the stale OPR.
+	_ = m.store.Delete(oprAddr)
+	m.mu.Lock()
+	// The object may have been deleted while we were starting it; in
+	// that case reap the orphan instead of recording it.
+	if _, still := m.table[l.ID()]; !still {
+		m.mu.Unlock()
+		_ = hc.KillObject(l)
+		return nil, fmt.Errorf("magistrate %v: object %v deleted during activation", m.self, l)
+	}
+	rec.active = true
+	rec.host = h.l
+	rec.addr = addr
+	rec.oprAddr = ""
+	b := m.bindingLocked(l, addr)
+	m.mu.Unlock()
+	return [][]byte{wire.Binding(b)}, nil
+}
+
+func (m *Magistrate) bindingLocked(l loid.LOID, addr oa.Address) binding.Binding {
+	if m.BindingTTL > 0 {
+		return binding.Until(l, addr, time.Now().Add(m.BindingTTL))
+	}
+	return binding.Forever(l, addr)
+}
+
+// pickHostLocked applies the host hint, or default round-robin
+// placement (complex policy belongs in Scheduling Agents, §3.8).
+func (m *Magistrate) pickHostLocked(hint loid.LOID) (hostEntry, error) {
+	if len(m.hosts) == 0 {
+		return hostEntry{}, fmt.Errorf("magistrate %v has no hosts", m.self)
+	}
+	if !hint.IsNil() {
+		for _, h := range m.hosts {
+			if h.l.SameObject(hint) {
+				return h, nil
+			}
+		}
+		return hostEntry{}, fmt.Errorf("magistrate %v: hinted host %v not in jurisdiction", m.self, hint)
+	}
+	h := m.hosts[m.rr%len(m.hosts)]
+	m.rr++
+	return h, nil
+}
+
+func (m *Magistrate) deactivate(inv *rt.Invocation) ([][]byte, error) {
+	l, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.deactivateByLOID(l); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (m *Magistrate) deactivateByLOID(l loid.LOID) error {
+	m.mu.Lock()
+	rec, ok := m.table[l.ID()]
+	if !ok {
+		m.mu.Unlock()
+		if _, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
+			return nil, sc.Deactivate(l)
+		}); delegated {
+			return derr
+		}
+		return fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
+	}
+	if !rec.active {
+		m.mu.Unlock()
+		return nil // already inert
+	}
+	hostL := rec.host
+	m.mu.Unlock()
+
+	hc := host.NewClient(m.obj.Caller(), hostL)
+	state, implName, err := hc.StopObject(l)
+	if err != nil {
+		return fmt.Errorf("magistrate %v: stop %v: %w", m.self, l, err)
+	}
+	oprAddr, err := m.store.Put(persist.OPR{LOID: l, Impl: implName, State: state})
+	if err != nil {
+		return fmt.Errorf("magistrate %v: persist %v: %w", m.self, l, err)
+	}
+	m.mu.Lock()
+	rec.active = false
+	rec.host = loid.Nil
+	rec.addr = oa.Address{}
+	rec.oprAddr = oprAddr
+	rec.impl = implName
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Magistrate) delete(inv *rt.Invocation) ([][]byte, error) {
+	l, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.deleteByLOID(l); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (m *Magistrate) deleteByLOID(l loid.LOID) error {
+	m.mu.Lock()
+	rec, ok := m.table[l.ID()]
+	if !ok {
+		m.mu.Unlock()
+		if _, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
+			return nil, sc.Delete(l)
+		}); delegated {
+			return derr
+		}
+		return fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
+	}
+	active, hostL, oprAddr := rec.active, rec.host, rec.oprAddr
+	delete(m.table, l.ID())
+	m.mu.Unlock()
+
+	if active {
+		hc := host.NewClient(m.obj.Caller(), hostL)
+		if err := hc.KillObject(l); err != nil {
+			return fmt.Errorf("magistrate %v: kill %v: %w", m.self, l, err)
+		}
+	}
+	if oprAddr != "" {
+		_ = m.store.Delete(oprAddr)
+	}
+	return nil
+}
+
+// copyTo implements Copy (and, with move set, Move = Copy then Delete,
+// §3.8).
+func (m *Magistrate) copyTo(inv *rt.Invocation, move bool) ([][]byte, error) {
+	l, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	to, err := argLOID(inv, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Copy "causes the Magistrate to deactivate the object, creating an
+	// Object Persistent Representation" (§3.8).
+	if err := m.deactivateByLOID(l); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	rec, ok := m.table[l.ID()]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
+	}
+	oprAddr := rec.oprAddr
+	m.mu.Unlock()
+	opr, err := m.store.Get(oprAddr)
+	if err != nil {
+		return nil, fmt.Errorf("magistrate %v: %w", m.self, err)
+	}
+	res, err := m.obj.Caller().Call(to, "ReceiveOPR", wire.LOID(l), wire.String(opr.Impl), opr.State)
+	if err != nil {
+		return nil, fmt.Errorf("magistrate %v: send OPR to %v: %w", m.self, to, err)
+	}
+	if err := res.Err(); err != nil {
+		return nil, fmt.Errorf("magistrate %v: %v rejected OPR: %w", m.self, to, err)
+	}
+	if move {
+		if err := m.deleteByLOID(l); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func (m *Magistrate) getBinding(inv *rt.Invocation) ([][]byte, error) {
+	l, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	rec, ok := m.table[l.ID()]
+	if !ok {
+		m.mu.Unlock()
+		if out, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
+			b, err := sc.GetBinding(l)
+			if err != nil {
+				return nil, err
+			}
+			return [][]byte{wire.Binding(b)}, nil
+		}); delegated {
+			return out, derr
+		}
+		return nil, fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
+	}
+	defer m.mu.Unlock()
+	if !rec.active {
+		return nil, fmt.Errorf("magistrate %v: object %v is inert (use Activate)", m.self, l)
+	}
+	return [][]byte{wire.Binding(m.bindingLocked(l, rec.addr))}, nil
+}
+
+// SaveState implements rt.Impl: the magistrate persists its table and
+// host list (OPRs already live in the store).
+func (m *Magistrate) SaveState() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []byte
+	out = wire.Uint64(uint64(len(m.hosts)))
+	for _, h := range m.hosts {
+		out = h.l.Marshal(out)
+		out = h.addr.Marshal(out)
+	}
+	out = append(out, wire.Uint64(uint64(len(m.subs)))...)
+	for _, s := range m.subs {
+		out = s.l.Marshal(out)
+		out = s.addr.Marshal(out)
+	}
+	inert := make([]loid.LOID, 0, len(m.table))
+	for l, rec := range m.table {
+		if !rec.active {
+			inert = append(inert, l)
+		}
+	}
+	out = append(out, wire.Uint64(uint64(len(inert)))...)
+	for _, l := range inert {
+		rec := m.table[l]
+		out = l.Marshal(out)
+		out = append(out, wire.Uint64(uint64(len(rec.impl)))...)
+		out = append(out, rec.impl...)
+		out = append(out, wire.Uint64(uint64(len(rec.oprAddr)))...)
+		out = append(out, rec.oprAddr...)
+	}
+	return out, nil
+}
+
+// RestoreState implements rt.Impl. Active objects are not part of a
+// magistrate's persistent state (they live on hosts); only the host
+// list and inert records are restored.
+func (m *Magistrate) RestoreState(state []byte) error {
+	if len(state) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	take8 := func() (uint64, error) {
+		if len(state) < 8 {
+			return 0, fmt.Errorf("magistrate: truncated state")
+		}
+		v, _ := wire.AsUint64(state[:8])
+		state = state[8:]
+		return v, nil
+	}
+	nh, err := take8()
+	if err != nil {
+		return err
+	}
+	m.hosts = nil
+	for i := uint64(0); i < nh; i++ {
+		var h hostEntry
+		h.l, state, err = loid.Unmarshal(state)
+		if err != nil {
+			return fmt.Errorf("magistrate: %w", err)
+		}
+		h.addr, state, err = oa.Unmarshal(state)
+		if err != nil {
+			return fmt.Errorf("magistrate: %w", err)
+		}
+		m.hosts = append(m.hosts, h)
+	}
+	ns, err := take8()
+	if err != nil {
+		return err
+	}
+	m.subs = nil
+	for i := uint64(0); i < ns; i++ {
+		var s subEntry
+		s.l, state, err = loid.Unmarshal(state)
+		if err != nil {
+			return fmt.Errorf("magistrate: %w", err)
+		}
+		s.addr, state, err = oa.Unmarshal(state)
+		if err != nil {
+			return fmt.Errorf("magistrate: %w", err)
+		}
+		m.subs = append(m.subs, s)
+	}
+	nr, err := take8()
+	if err != nil {
+		return err
+	}
+	m.table = make(map[loid.LOID]*record, nr)
+	for i := uint64(0); i < nr; i++ {
+		var l loid.LOID
+		l, state, err = loid.Unmarshal(state)
+		if err != nil {
+			return fmt.Errorf("magistrate: %w", err)
+		}
+		ilen, err2 := take8()
+		if err2 != nil {
+			return err2
+		}
+		if uint64(len(state)) < ilen {
+			return fmt.Errorf("magistrate: truncated impl name")
+		}
+		implName := string(state[:ilen])
+		state = state[ilen:]
+		alen, err2 := take8()
+		if err2 != nil {
+			return err2
+		}
+		if uint64(len(state)) < alen {
+			return fmt.Errorf("magistrate: truncated opr address")
+		}
+		oprAddr := persist.PersistentAddress(state[:alen])
+		state = state[alen:]
+		m.table[l.ID()] = &record{impl: implName, oprAddr: oprAddr}
+	}
+	if len(state) != 0 {
+		return fmt.Errorf("magistrate: %d trailing state bytes", len(state))
+	}
+	return nil
+}
+
+func argLOID(inv *rt.Invocation, i int) (loid.LOID, error) {
+	a, err := inv.Arg(i)
+	if err != nil {
+		return loid.Nil, err
+	}
+	return wire.AsLOID(a)
+}
+
+func argString(inv *rt.Invocation, i int) (string, error) {
+	a, err := inv.Arg(i)
+	if err != nil {
+		return "", err
+	}
+	return wire.AsString(a), nil
+}

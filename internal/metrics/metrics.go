@@ -1,0 +1,226 @@
+// Package metrics provides the per-component request counters and
+// latency histograms that the scalability experiments (§5) rely on.
+// Every core object (class, magistrate, host, binding agent) counts the
+// requests it serves; the "distributed systems principle" — that the
+// number of requests to any particular component must not be an
+// increasing function of the number of hosts — is then directly
+// measurable.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Histogram records durations in power-of-two microsecond buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [32]uint64 // bucket i counts d with 2^(i-1)µs <= d < 2^i µs; bucket 0: < 1µs
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < len(h.buckets)-1 {
+		us >>= 1
+		b++
+	}
+	h.buckets[b]++
+}
+
+// HistStats is a snapshot of a histogram.
+type HistStats struct {
+	Count uint64
+	Sum   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot computes summary statistics. Percentiles are bucket-upper-
+// bound approximations.
+func (h *Histogram) Snapshot() HistStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / time.Duration(h.count)
+	s.P50 = h.percentileLocked(0.50)
+	s.P99 = h.percentileLocked(0.99)
+	return s
+}
+
+func (h *Histogram) percentileLocked(q float64) time.Duration {
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return time.Microsecond
+			}
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.buckets = [32]uint64{}
+}
+
+// Registry is a named collection of counters and histograms. Component
+// names follow "component/instance" convention, e.g. "class/L256.0" or
+// "bindagent/leaf3". The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	hists  map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counters returns a stable-ordered snapshot of all counter values.
+func (r *Registry) Counters() []NamedValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NamedValue, 0, len(r.counts))
+	for name, c := range r.counts {
+		out = append(out, NamedValue{Name: name, Value: c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedValue pairs a metric name with its value.
+type NamedValue struct {
+	Name  string
+	Value uint64
+}
+
+func (nv NamedValue) String() string { return fmt.Sprintf("%s=%d", nv.Name, nv.Value) }
+
+// MaxCounter returns the counter with the largest value whose name has
+// the given prefix; ok is false if none match. Experiment E9 uses it to
+// find the most-loaded component of a kind.
+func (r *Registry) MaxCounter(prefix string) (NamedValue, bool) {
+	var best NamedValue
+	found := false
+	for _, nv := range r.Counters() {
+		if len(nv.Name) >= len(prefix) && nv.Name[:len(prefix)] == prefix {
+			if !found || nv.Value > best.Value {
+				best, found = nv, true
+			}
+		}
+	}
+	return best, found
+}
+
+// SumCounters returns the sum of all counters whose name has the given
+// prefix.
+func (r *Registry) SumCounters(prefix string) uint64 {
+	var sum uint64
+	for _, nv := range r.Counters() {
+		if len(nv.Name) >= len(prefix) && nv.Name[:len(prefix)] == prefix {
+			sum += nv.Value
+		}
+	}
+	return sum
+}
+
+// Reset zeroes every metric but keeps registrations.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counts {
+		c.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// Nop is a shared registry for components that don't care about
+// metrics; it behaves normally but is never read.
+var Nop = NewRegistry()

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("Value = %d, want 16000", c.Value())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	h.Observe(10 * time.Microsecond)
+	h.Observe(20 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Min != 10*time.Microsecond || s.Max != 30*time.Microsecond {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 20*time.Microsecond {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.P50 <= 0 || s.P99 < s.P50 {
+		t.Errorf("percentiles: P50=%v P99=%v", s.P50, s.P99)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if s := h.Snapshot(); s.Min != 0 || s.Max != 0 {
+		t.Errorf("negative not clamped: %+v", s)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestRegistryCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Error("same name yielded different counters")
+	}
+	a.Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Error("value not shared")
+	}
+}
+
+func TestRegistryCountersSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	vals := r.Counters()
+	if len(vals) != 2 || vals[0].Name != "a" || vals[1].Name != "b" {
+		t.Errorf("Counters = %v", vals)
+	}
+	if vals[0].String() != "a=2" {
+		t.Errorf("String = %q", vals[0].String())
+	}
+}
+
+func TestMaxAndSum(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("class/L256.0").Add(10)
+	r.Counter("class/L257.0").Add(30)
+	r.Counter("agent/a").Add(99)
+	max, ok := r.MaxCounter("class/")
+	if !ok || max.Name != "class/L257.0" || max.Value != 30 {
+		t.Errorf("MaxCounter = %v, %v", max, ok)
+	}
+	if _, ok := r.MaxCounter("nope/"); ok {
+		t.Error("MaxCounter matched nothing but reported ok")
+	}
+	if sum := r.SumCounters("class/"); sum != 40 {
+		t.Errorf("SumCounters = %d", sum)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(5)
+	r.Histogram("h").Observe(time.Second)
+	r.Reset()
+	if r.Counter("x").Value() != 0 {
+		t.Error("counter not reset")
+	}
+	if r.Histogram("h").Snapshot().Count != 0 {
+		t.Error("histogram not reset")
+	}
+}

@@ -1,0 +1,105 @@
+package naming
+
+import (
+	"fmt"
+
+	"repro/internal/loid"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Client is a typed handle on a remote context object.
+type Client struct {
+	c   *rt.Caller
+	ctx loid.LOID
+}
+
+// NewClient wraps caller for invocations on the context object named
+// ctx.
+func NewClient(c *rt.Caller, ctx loid.LOID) *Client {
+	return &Client{c: c, ctx: ctx}
+}
+
+// Context returns the target context object's LOID.
+func (cl *Client) Context() loid.LOID { return cl.ctx }
+
+// Bind maps path to target in the remote context.
+func (cl *Client) Bind(path string, target loid.LOID, replace bool) error {
+	res, err := cl.c.Call(cl.ctx, "BindName",
+		wire.String(path), wire.LOID(target), wire.Bool(replace))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// Lookup resolves path in the remote context.
+func (cl *Client) Lookup(path string) (loid.LOID, error) {
+	res, err := cl.c.Call(cl.ctx, "LookupName", wire.String(path))
+	if err != nil {
+		return loid.Nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return loid.Nil, err
+	}
+	return wire.AsLOID(raw)
+}
+
+// Unbind removes path from the remote context.
+func (cl *Client) Unbind(path string) error {
+	res, err := cl.c.Call(cl.ctx, "UnbindName", wire.String(path))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// List enumerates the directory at path in the remote context.
+func (cl *Client) List(path string) (names []string, dirs []string, targets []loid.LOID, err error) {
+	res, err := cl.c.Call(cl.ctx, "ListNames", wire.String(path))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if names, err = wire.AsStringList(raw); err != nil {
+		return nil, nil, nil, err
+	}
+	if raw, err = res.Result(1); err != nil {
+		return nil, nil, nil, err
+	}
+	if dirs, err = wire.AsStringList(raw); err != nil {
+		return nil, nil, nil, err
+	}
+	if raw, err = res.Result(2); err != nil {
+		return nil, nil, nil, err
+	}
+	for len(raw) > 0 {
+		var l loid.LOID
+		l, raw, err = loid.Unmarshal(raw)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("naming: targets: %w", err)
+		}
+		targets = append(targets, l)
+	}
+	if len(targets) != len(names) {
+		return nil, nil, nil, fmt.Errorf("naming: %d names but %d targets", len(names), len(targets))
+	}
+	return names, dirs, targets, nil
+}
+
+// Len counts the leaves in the remote context.
+func (cl *Client) Len() (uint64, error) {
+	res, err := cl.c.Call(cl.ctx, "CountNames")
+	if err != nil {
+		return 0, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return 0, err
+	}
+	return wire.AsUint64(raw)
+}

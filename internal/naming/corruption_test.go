@@ -1,0 +1,44 @@
+package naming
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/loid"
+)
+
+// TestUnmarshalContextNeverPanics fuzzes context deserialization —
+// the RestoreState path of context objects.
+func TestUnmarshalContextNeverPanics(t *testing.T) {
+	c := NewContext()
+	c.Bind("/home/alice/data", loid.NewNoKey(700, 1), false)
+	c.Bind("/home/bob/app", loid.NewNoKey(700, 2), false)
+	c.Bind("/etc/passwd", loid.NewNoKey(700, 3), false)
+	valid := c.Marshal(nil)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 6000; i++ {
+		var buf []byte
+		if i%2 == 0 {
+			buf = make([]byte, rng.Intn(len(valid)*2))
+			rng.Read(buf)
+		} else {
+			buf = append([]byte(nil), valid...)
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				if len(buf) > 0 {
+					buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+				}
+			}
+			if rng.Intn(3) == 0 && len(buf) > 0 {
+				buf = buf[:rng.Intn(len(buf))]
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", buf, r)
+				}
+			}()
+			UnmarshalContext(buf)
+		}()
+	}
+}

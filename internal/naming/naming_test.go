@@ -1,0 +1,193 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/loid"
+)
+
+var (
+	l1 = loid.NewNoKey(256, 1)
+	l2 = loid.NewNoKey(256, 2)
+)
+
+func TestBindLookup(t *testing.T) {
+	c := NewContext()
+	if err := c.Bind("/home/alice/matrix", l1, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("/home/alice/matrix")
+	if err != nil || got != l1 {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	// Paths normalize: leading/trailing slashes don't matter.
+	if got, err := c.Lookup("home/alice/matrix/"); err != nil || got != l1 {
+		t.Errorf("normalized lookup = %v, %v", got, err)
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	c := NewContext()
+	c.Bind("/a/b", l1, false)
+	for _, p := range []string{"/a/c", "/x", "/a/b/c"} {
+		if _, err := c.Lookup(p); err == nil {
+			t.Errorf("Lookup(%q) succeeded", p)
+		}
+	}
+	if _, err := c.Lookup("/a"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Lookup of dir = %v", err)
+	}
+}
+
+func TestBindConflicts(t *testing.T) {
+	c := NewContext()
+	c.Bind("/n", l1, false)
+	if err := c.Bind("/n", l2, false); !errors.Is(err, ErrExists) {
+		t.Errorf("rebind without replace: %v", err)
+	}
+	if err := c.Bind("/n", l2, true); err != nil {
+		t.Fatalf("rebind with replace: %v", err)
+	}
+	if got, _ := c.Lookup("/n"); got != l2 {
+		t.Error("replace did not take")
+	}
+	c.Bind("/d/leaf", l1, false)
+	if err := c.Bind("/d", l2, true); !errors.Is(err, ErrIsDir) {
+		t.Errorf("bind over directory: %v", err)
+	}
+	if err := c.Bind("/n/under-leaf", l2, false); !errors.Is(err, ErrNotDir) {
+		t.Errorf("bind through leaf: %v", err)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	c := NewContext()
+	for _, p := range []string{"", "/", "/a//b", "/a/./b", "/a/../b"} {
+		if err := c.Bind(p, l1, false); !errors.Is(err, ErrBadName) {
+			t.Errorf("Bind(%q) = %v, want ErrBadName", p, err)
+		}
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	c := NewContext()
+	c.Bind("/a/b", l1, false)
+	if err := c.Unbind("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("/a/b"); !errors.Is(err, ErrNotFound) {
+		t.Error("unbound name still resolves")
+	}
+	if err := c.Unbind("/a/b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double unbind: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	c := NewContext()
+	c.Bind("/dir/x", l1, false)
+	c.Bind("/dir/sub/y", l2, false)
+	c.Bind("/top", l1, false)
+
+	root, err := c.List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 2 || root[0].Name != "dir" || !root[0].IsDir || root[1].Name != "top" || root[1].IsDir {
+		t.Errorf("root listing = %+v", root)
+	}
+	dir, err := c.List("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 2 || dir[0].Name != "sub" || dir[1].Name != "x" || dir[1].LOID != l1 {
+		t.Errorf("dir listing = %+v", dir)
+	}
+	if _, err := c.List("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("List missing dir: %v", err)
+	}
+	if _, err := c.List("/top"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("List of leaf: %v", err)
+	}
+}
+
+func TestWalkAndLen(t *testing.T) {
+	c := NewContext()
+	c.Bind("/b", l2, false)
+	c.Bind("/a/x", l1, false)
+	var paths []string
+	c.Walk(func(p string, l loid.LOID) { paths = append(paths, p) })
+	if len(paths) != 2 || paths[0] != "/a/x" || paths[1] != "/b" {
+		t.Errorf("Walk order = %v", paths)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	c := NewContext()
+	c.Bind("/home/alice/app", l1, false)
+	c.Bind("/home/bob/data", l2, false)
+	c.Bind("/etc", loid.New(1, 5, loid.DeriveKey("e")), false)
+
+	got, err := UnmarshalContext(c.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	want := map[string]loid.LOID{}
+	c.Walk(func(p string, l loid.LOID) { want[p] = l })
+	got.Walk(func(p string, l loid.LOID) {
+		if want[p] != l {
+			t.Errorf("path %q: %v != %v", p, l, want[p])
+		}
+		delete(want, p)
+	})
+	if len(want) != 0 {
+		t.Errorf("missing paths: %v", want)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	c := NewContext()
+	c.Bind("/a", l1, false)
+	buf := c.Marshal(nil)
+	for _, n := range []int{0, 3, 5, len(buf) - 1} {
+		if _, err := UnmarshalContext(buf[:n]); err == nil {
+			t.Errorf("prefix %d accepted", n)
+		}
+	}
+	if _, err := UnmarshalContext(append(buf, 9)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestEmptyContextRoundTrip(t *testing.T) {
+	got, err := UnmarshalContext(NewContext().Marshal(nil))
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := NewContext()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				path := "/g/" + string(rune('a'+g)) + "/" + string(rune('0'+i%10))
+				c.Bind(path, l1, true)
+				c.Lookup(path)
+				c.List("/g")
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

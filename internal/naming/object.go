@@ -1,0 +1,124 @@
+package naming
+
+import (
+	"repro/internal/idl"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// ImplName registers the context-object implementation: a naming
+// context as a full Legion object. This realizes the paper's "single
+// persistent name space [that] unites the objects in the Legion
+// system" (§1): contexts are shared, persistent, migratable objects
+// like everything else, and the string-name → LOID mappings compilers
+// use (§4.1) live in them.
+const ImplName = "legion.context"
+
+// Interface is the context object's member-function set.
+var Interface = idl.NewInterface("LegionContext",
+	idl.MethodSig{Name: "BindName",
+		Params: []idl.Param{
+			{Name: "path", Type: idl.TString},
+			{Name: "target", Type: idl.TLOID},
+			{Name: "replace", Type: idl.TBool}}},
+	idl.MethodSig{Name: "LookupName",
+		Params:  []idl.Param{{Name: "path", Type: idl.TString}},
+		Returns: []idl.Param{{Name: "target", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "UnbindName",
+		Params: []idl.Param{{Name: "path", Type: idl.TString}}},
+	idl.MethodSig{Name: "ListNames",
+		Params: []idl.Param{{Name: "path", Type: idl.TString}},
+		Returns: []idl.Param{
+			{Name: "names", Type: idl.TBytes},
+			{Name: "dirs", Type: idl.TBytes},
+			{Name: "targets", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "CountNames",
+		Returns: []idl.Param{{Name: "n", Type: idl.TUint64}}},
+)
+
+// NewContextImpl is the implreg factory for ImplName.
+func NewContextImpl() rt.Impl {
+	ctx := NewContext()
+	return &rt.Behavior{
+		Iface: Interface,
+		Handlers: map[string]rt.Handler{
+			"BindName": func(inv *rt.Invocation) ([][]byte, error) {
+				path, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				rawTarget, err := inv.Arg(1)
+				if err != nil {
+					return nil, err
+				}
+				target, err := wire.AsLOID(rawTarget)
+				if err != nil {
+					return nil, err
+				}
+				rawReplace, err := inv.Arg(2)
+				if err != nil {
+					return nil, err
+				}
+				replace, err := wire.AsBool(rawReplace)
+				if err != nil {
+					return nil, err
+				}
+				return nil, ctx.Bind(wire.AsString(path), target, replace)
+			},
+			"LookupName": func(inv *rt.Invocation) ([][]byte, error) {
+				path, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				l, err := ctx.Lookup(wire.AsString(path))
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{wire.LOID(l)}, nil
+			},
+			"UnbindName": func(inv *rt.Invocation) ([][]byte, error) {
+				path, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				return nil, ctx.Unbind(wire.AsString(path))
+			},
+			"ListNames": func(inv *rt.Invocation) ([][]byte, error) {
+				path, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				entries, err := ctx.List(wire.AsString(path))
+				if err != nil {
+					return nil, err
+				}
+				var names, dirs []string
+				var targets []byte
+				for _, e := range entries {
+					if e.IsDir {
+						dirs = append(dirs, e.Name)
+						continue
+					}
+					names = append(names, e.Name)
+					targets = e.LOID.Marshal(targets)
+				}
+				return [][]byte{wire.StringList(names), wire.StringList(dirs), targets}, nil
+			},
+			"CountNames": func(inv *rt.Invocation) ([][]byte, error) {
+				return [][]byte{wire.Uint64(uint64(ctx.Len()))}, nil
+			},
+		},
+		Save: func() ([]byte, error) { return ctx.Marshal(nil), nil },
+		Restore: func(state []byte) error {
+			if len(state) == 0 {
+				return nil
+			}
+			restored, err := UnmarshalContext(state)
+			if err != nil {
+				return err
+			}
+			ctx.Replace(restored)
+			return nil
+		},
+	}
+}

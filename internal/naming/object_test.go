@@ -1,0 +1,123 @@
+package naming
+
+import (
+	"testing"
+
+	"repro/internal/loid"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+func dispatch(t *testing.T, impl rt.Impl, method string, args ...[]byte) ([][]byte, error) {
+	t.Helper()
+	return impl.Dispatch(&rt.Invocation{Method: method, Args: args})
+}
+
+func mustDispatch(t *testing.T, impl rt.Impl, method string, args ...[]byte) [][]byte {
+	t.Helper()
+	out, err := dispatch(t, impl, method, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", method, err)
+	}
+	return out
+}
+
+func TestContextImplBindLookup(t *testing.T) {
+	impl := NewContextImpl()
+	target := loid.NewNoKey(700, 1)
+	mustDispatch(t, impl, "BindName", wire.String("/a/b"), wire.LOID(target), wire.Bool(false))
+	out := mustDispatch(t, impl, "LookupName", wire.String("/a/b"))
+	got, err := wire.AsLOID(out[0])
+	if err != nil || got != target {
+		t.Fatalf("LookupName = %v, %v", got, err)
+	}
+	// Duplicate bind without replace errors.
+	if _, err := dispatch(t, impl, "BindName", wire.String("/a/b"), wire.LOID(target), wire.Bool(false)); err == nil {
+		t.Error("duplicate bind accepted")
+	}
+	// With replace it succeeds.
+	mustDispatch(t, impl, "BindName", wire.String("/a/b"), wire.LOID(loid.NewNoKey(700, 2)), wire.Bool(true))
+}
+
+func TestContextImplListAndCount(t *testing.T) {
+	impl := NewContextImpl()
+	mustDispatch(t, impl, "BindName", wire.String("/a/x"), wire.LOID(loid.NewNoKey(700, 1)), wire.Bool(false))
+	mustDispatch(t, impl, "BindName", wire.String("/a/sub/y"), wire.LOID(loid.NewNoKey(700, 2)), wire.Bool(false))
+	out := mustDispatch(t, impl, "ListNames", wire.String("/a"))
+	names, _ := wire.AsStringList(out[0])
+	dirs, _ := wire.AsStringList(out[1])
+	if len(names) != 1 || names[0] != "x" || len(dirs) != 1 || dirs[0] != "sub" {
+		t.Errorf("List = %v / %v", names, dirs)
+	}
+	// Targets blob decodes to one LOID per name.
+	l, rest, err := loid.Unmarshal(out[2])
+	if err != nil || len(rest) != 0 || !l.SameObject(loid.NewNoKey(700, 1)) {
+		t.Errorf("targets = %v %v", l, err)
+	}
+	out = mustDispatch(t, impl, "CountNames")
+	if n, _ := wire.AsUint64(out[0]); n != 2 {
+		t.Errorf("CountNames = %d", n)
+	}
+}
+
+func TestContextImplUnbind(t *testing.T) {
+	impl := NewContextImpl()
+	mustDispatch(t, impl, "BindName", wire.String("/n"), wire.LOID(loid.NewNoKey(700, 1)), wire.Bool(false))
+	mustDispatch(t, impl, "UnbindName", wire.String("/n"))
+	if _, err := dispatch(t, impl, "LookupName", wire.String("/n")); err == nil {
+		t.Error("unbound name resolves")
+	}
+	if _, err := dispatch(t, impl, "UnbindName", wire.String("/n")); err == nil {
+		t.Error("double unbind succeeded")
+	}
+}
+
+func TestContextImplStateRoundTrip(t *testing.T) {
+	impl := NewContextImpl()
+	target := loid.NewNoKey(700, 9)
+	mustDispatch(t, impl, "BindName", wire.String("/persisted/name"), wire.LOID(target), wire.Bool(false))
+	blob, err := impl.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl2 := NewContextImpl()
+	if err := impl2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	out := mustDispatch(t, impl2, "LookupName", wire.String("/persisted/name"))
+	if got, _ := wire.AsLOID(out[0]); got != target {
+		t.Errorf("restored lookup = %v", got)
+	}
+	if err := impl2.RestoreState([]byte{1, 2}); err == nil {
+		t.Error("corrupt state accepted")
+	}
+	if err := impl2.RestoreState(nil); err != nil {
+		t.Error("empty state rejected")
+	}
+}
+
+func TestContextImplBadArgs(t *testing.T) {
+	impl := NewContextImpl()
+	if _, err := dispatch(t, impl, "BindName", wire.String("/x")); err == nil {
+		t.Error("missing args accepted")
+	}
+	if _, err := dispatch(t, impl, "BindName", wire.String("/x"), []byte{1}, wire.Bool(false)); err == nil {
+		t.Error("bad LOID accepted")
+	}
+	if _, err := dispatch(t, impl, "Nope"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestReplaceSwapsContents(t *testing.T) {
+	a, b := NewContext(), NewContext()
+	a.Bind("/old", loid.NewNoKey(1, 1), false)
+	b.Bind("/new", loid.NewNoKey(2, 2), false)
+	a.Replace(b)
+	if _, err := a.Lookup("/old"); err == nil {
+		t.Error("Replace kept old contents")
+	}
+	if got, err := a.Lookup("/new"); err != nil || !got.SameObject(loid.NewNoKey(2, 2)) {
+		t.Errorf("Replace lost new contents: %v %v", got, err)
+	}
+}

@@ -1,0 +1,69 @@
+package naming
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loid"
+)
+
+// TestBindLookupModelProperty drives a context and a map model with
+// the same random operations; lookups must agree throughout, and
+// marshal/unmarshal must preserve the whole mapping.
+func TestBindLookupModelProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewContext()
+		model := map[string]loid.LOID{}
+		pathOf := func(op uint16) string {
+			// A small path universe with shared prefixes.
+			return fmt.Sprintf("/d%d/f%d", (op>>4)%4, op%8)
+		}
+		for i, op := range ops {
+			path := pathOf(op)
+			target := loid.NewNoKey(9, uint64(i+1))
+			switch op % 3 {
+			case 0:
+				err := c.Bind(path, target, true)
+				if err != nil {
+					return false // replace-bind into a fresh dir tree must succeed
+				}
+				model[path] = target
+			case 1:
+				err := c.Unbind(path)
+				_, existed := model[path]
+				if existed != (err == nil) {
+					return false
+				}
+				delete(model, path)
+			case 2:
+				got, err := c.Lookup(path)
+				want, existed := model[path]
+				if existed != (err == nil) {
+					return false
+				}
+				if existed && got != want {
+					return false
+				}
+			}
+		}
+		if c.Len() != len(model) {
+			return false
+		}
+		// Serialization preserves everything.
+		back, err := UnmarshalContext(c.Marshal(nil))
+		if err != nil || back.Len() != len(model) {
+			return false
+		}
+		for path, want := range model {
+			got, err := back.Lookup(path)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package oa
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemElementRoundTrip(t *testing.T) {
+	e := MemElement(0xDEADBEEF)
+	id, ok := MemID(e)
+	if !ok || id != 0xDEADBEEF {
+		t.Fatalf("MemID = %d, %v", id, ok)
+	}
+	if _, ok := MemID(Element{Type: TypeIP}); ok {
+		t.Error("MemID accepted a TypeIP element")
+	}
+}
+
+func TestIPElementRoundTrip(t *testing.T) {
+	e, err := IPElement(net.IPv4(10, 1, 2, 3), 8080, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, ok := IPHostPort(e)
+	if !ok || hp != "10.1.2.3:8080" {
+		t.Fatalf("IPHostPort = %q, %v", hp, ok)
+	}
+}
+
+func TestIPElementRejectsNonV4(t *testing.T) {
+	if _, err := IPElement(net.ParseIP("2001:db8::1"), 80, 0); err == nil {
+		t.Error("IPElement accepted IPv6")
+	}
+}
+
+func TestIPElementNodeNumber(t *testing.T) {
+	e, err := IPElement(net.IPv4(10, 0, 0, 1), 99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "node7") {
+		t.Errorf("String() = %q, want node number", e.String())
+	}
+}
+
+func TestTCPElement(t *testing.T) {
+	e, err := TCPElement("127.0.0.1:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, _ := IPHostPort(e)
+	if hp != "127.0.0.1:9000" {
+		t.Errorf("round trip = %q", hp)
+	}
+	for _, bad := range []string{"localhost", "nohost:x", "notanip:80"} {
+		if _, err := TCPElement(bad); err == nil {
+			t.Errorf("TCPElement(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestAddressMarshalRoundTrip(t *testing.T) {
+	f := func(sem uint8, k uint8, ids []uint64) bool {
+		if len(ids) > 50 {
+			ids = ids[:50]
+		}
+		elems := make([]Element, len(ids))
+		for i, id := range ids {
+			elems[i] = MemElement(id)
+		}
+		a := Address{Semantic: Semantic(sem % 5), K: k, Elements: elems}
+		buf := a.Marshal(nil)
+		got, rest, err := Unmarshal(buf)
+		return err == nil && len(rest) == 0 && got.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, _, err := Unmarshal([]byte{1, 2}); err == nil {
+		t.Error("short header accepted")
+	}
+	a := Single(MemElement(1))
+	buf := a.Marshal(nil)
+	if _, _, err := Unmarshal(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated element accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Replicated(SemAll, 0, MemElement(1), MemElement(2))
+	b := Replicated(SemAll, 0, MemElement(1), MemElement(2))
+	if !a.Equal(b) {
+		t.Error("identical addresses not Equal")
+	}
+	if a.Equal(Replicated(SemAll, 0, MemElement(2), MemElement(1))) {
+		t.Error("order-insensitive Equal")
+	}
+	if a.Equal(Replicated(SemRandom, 0, MemElement(1), MemElement(2))) {
+		t.Error("semantic-insensitive Equal")
+	}
+	if a.Equal(Single(MemElement(1))) {
+		t.Error("length-insensitive Equal")
+	}
+}
+
+func TestPrimary(t *testing.T) {
+	if (Address{}).Primary() != (Element{}) {
+		t.Error("empty Primary not zero")
+	}
+	a := Replicated(SemOrdered, 0, MemElement(5), MemElement(6))
+	if id, _ := MemID(a.Primary()); id != 5 {
+		t.Errorf("Primary = %d", id)
+	}
+}
+
+func TestTargetsAll(t *testing.T) {
+	a := Replicated(SemAll, 0, MemElement(1), MemElement(2), MemElement(3))
+	waves := a.Targets(nil)
+	if len(waves) != 1 || len(waves[0]) != 3 {
+		t.Fatalf("SemAll waves = %v", waves)
+	}
+}
+
+func TestTargetsOrdered(t *testing.T) {
+	a := Replicated(SemOrdered, 0, MemElement(1), MemElement(2))
+	waves := a.Targets(nil)
+	if len(waves) != 2 || len(waves[0]) != 1 {
+		t.Fatalf("SemOrdered waves = %v", waves)
+	}
+	id0, _ := MemID(waves[0][0])
+	id1, _ := MemID(waves[1][0])
+	if id0 != 1 || id1 != 2 {
+		t.Errorf("order = %d,%d", id0, id1)
+	}
+}
+
+func TestTargetsRandomCoversAll(t *testing.T) {
+	a := Replicated(SemRandom, 0, MemElement(1), MemElement(2), MemElement(3))
+	rnd := rand.New(rand.NewSource(42))
+	waves := a.Targets(rnd.Intn)
+	if len(waves) != 3 {
+		t.Fatalf("want 3 failover waves, got %d", len(waves))
+	}
+	seen := map[uint64]bool{}
+	for _, w := range waves {
+		id, _ := MemID(w[0])
+		seen[id] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("random waves did not cover all replicas: %v", seen)
+	}
+}
+
+func TestTargetsRandomRotates(t *testing.T) {
+	a := Replicated(SemRandom, 0, MemElement(1), MemElement(2), MemElement(3))
+	firsts := map[uint64]bool{}
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		waves := a.Targets(rnd.Intn)
+		id, _ := MemID(waves[0][0])
+		firsts[id] = true
+	}
+	if len(firsts) != 3 {
+		t.Errorf("SemRandom never chose some replicas first: %v", firsts)
+	}
+}
+
+func TestTargetsKofN(t *testing.T) {
+	a := Replicated(SemKofN, 2, MemElement(1), MemElement(2), MemElement(3), MemElement(4))
+	rnd := rand.New(rand.NewSource(1))
+	waves := a.Targets(rnd.Intn)
+	if len(waves[0]) != 2 {
+		t.Fatalf("first wave size = %d, want 2", len(waves[0]))
+	}
+	total := 0
+	seen := map[uint64]bool{}
+	for _, w := range waves {
+		for _, e := range w {
+			id, _ := MemID(e)
+			if seen[id] {
+				t.Errorf("element %d appears twice", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != 4 {
+		t.Errorf("waves covered %d elements, want 4", total)
+	}
+}
+
+func TestTargetsKofNClamping(t *testing.T) {
+	a := Replicated(SemKofN, 9, MemElement(1), MemElement(2))
+	waves := a.Targets(nil)
+	if len(waves[0]) != 2 {
+		t.Errorf("k>n not clamped: first wave = %d", len(waves[0]))
+	}
+	a.K = 0
+	waves = a.Targets(nil)
+	if len(waves[0]) != 1 {
+		t.Errorf("k=0 should degrade to 1, got %d", len(waves[0]))
+	}
+}
+
+func TestTargetsEmpty(t *testing.T) {
+	if (Address{}).Targets(nil) != nil {
+		t.Error("empty address should yield nil targets")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	a := Replicated(SemKofN, 2, MemElement(1))
+	s := a.String()
+	if !strings.Contains(s, "k-of-n(k=2)") || !strings.Contains(s, "mem:1") {
+		t.Errorf("String = %q", s)
+	}
+	if (Element{}).String() != "nil" {
+		t.Errorf("zero element String = %q", (Element{}).String())
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Address{}).IsZero() {
+		t.Error("empty address not zero")
+	}
+	if Single(MemElement(1)).IsZero() {
+		t.Error("non-empty address zero")
+	}
+}

@@ -1,0 +1,78 @@
+package oa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTargetsCoverEveryElementOnce: for every semantic and any element
+// list, the waves of Targets partition the element set — every element
+// appears in exactly one wave (so failover always eventually tries
+// everything, and nothing is contacted twice).
+func TestTargetsCoverEveryElementOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(sem uint8, k uint8, ids []uint64) bool {
+		if len(ids) > 40 {
+			ids = ids[:40]
+		}
+		// De-duplicate ids: the property is about element identity.
+		seenID := map[uint64]bool{}
+		var elems []Element
+		for _, id := range ids {
+			if !seenID[id] {
+				seenID[id] = true
+				elems = append(elems, MemElement(id))
+			}
+		}
+		a := Address{Semantic: Semantic(sem % 5), K: k, Elements: elems}
+		waves := a.Targets(rng.Intn)
+		count := map[Element]int{}
+		for _, w := range waves {
+			for _, e := range w {
+				count[e]++
+			}
+		}
+		if len(count) != len(elems) {
+			return false
+		}
+		for _, n := range count {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarshalDeterministic: encoding the same address twice yields
+// identical bytes (bindings are compared and cached by content).
+func TestMarshalDeterministic(t *testing.T) {
+	f := func(sem uint8, k uint8, ids []uint64) bool {
+		if len(ids) > 20 {
+			ids = ids[:20]
+		}
+		elems := make([]Element, len(ids))
+		for i, id := range ids {
+			elems[i] = MemElement(id)
+		}
+		a := Address{Semantic: Semantic(sem % 5), K: k, Elements: elems}
+		b1 := a.Marshal(nil)
+		b2 := a.Marshal(nil)
+		if len(b1) != len(b2) {
+			return false
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

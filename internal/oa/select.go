@@ -1,0 +1,80 @@
+package oa
+
+// Targets computes, per the address semantic, the element subsets a
+// sender should attempt, in attempt order. The return value is a list of
+// "waves": each wave is a set of elements to contact in parallel; if a
+// wave fails entirely the sender moves to the next wave.
+//
+//   - SemOne / SemOrdered: one wave per element, in order (failover).
+//   - SemAll: a single wave containing every element.
+//   - SemRandom: one wave per element, in a rotated order chosen by
+//     rnd; the caller supplies randomness so behaviour is testable.
+//   - SemKofN: first wave is K elements chosen by rnd; remaining
+//     elements follow as singleton failover waves.
+//
+// rnd must return a non-negative value less than its argument; callers
+// typically pass a math/rand-backed func. A nil rnd degrades to
+// deterministic order.
+func (a Address) Targets(rnd func(n int) int) [][]Element {
+	n := len(a.Elements)
+	if n == 0 {
+		return nil
+	}
+	if rnd == nil {
+		rnd = func(int) int { return 0 }
+	}
+	switch a.Semantic {
+	case SemAll:
+		wave := make([]Element, n)
+		copy(wave, a.Elements)
+		return [][]Element{wave}
+	case SemRandom:
+		start := rnd(n)
+		waves := make([][]Element, 0, n)
+		for i := 0; i < n; i++ {
+			waves = append(waves, []Element{a.Elements[(start+i)%n]})
+		}
+		return waves
+	case SemKofN:
+		k := int(a.K)
+		if k <= 0 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		perm := permute(n, rnd)
+		first := make([]Element, 0, k)
+		for _, idx := range perm[:k] {
+			first = append(first, a.Elements[idx])
+		}
+		waves := [][]Element{first}
+		for _, idx := range perm[k:] {
+			waves = append(waves, []Element{a.Elements[idx]})
+		}
+		return waves
+	default: // SemOne, SemOrdered
+		waves := make([][]Element, 0, n)
+		for _, e := range a.Elements {
+			waves = append(waves, []Element{e})
+		}
+		return waves
+	}
+}
+
+// permute returns a pseudo-random permutation of [0,n) driven by rnd
+// (Fisher–Yates).
+func permute(n int, rnd func(int) int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rnd(i + 1)
+		if j < 0 || j > i {
+			j = 0
+		}
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

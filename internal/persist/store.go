@@ -1,0 +1,159 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemStore is an in-memory Store, used by single-process deployments
+// and the simulator.
+type MemStore struct {
+	mu   sync.Mutex
+	next uint64
+	objs map[PersistentAddress]OPR
+	now  func() time.Time
+}
+
+// NewMemStore builds an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objs: make(map[PersistentAddress]OPR), now: time.Now}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(o OPR) (PersistentAddress, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o.Saved.IsZero() {
+		o.Saved = s.now()
+	}
+	s.next++
+	addr := PersistentAddress(fmt.Sprintf("opr-%d-%s", s.next, o.LOID))
+	// Copy state so later caller mutation can't corrupt the store.
+	o.State = append([]byte(nil), o.State...)
+	s.objs[addr] = o
+	return addr, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(addr PersistentAddress) (OPR, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[addr]
+	if !ok {
+		return OPR{}, fmt.Errorf("%w: %s", ErrNotFound, addr)
+	}
+	o.State = append([]byte(nil), o.State...)
+	return o, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(addr PersistentAddress) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objs[addr]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, addr)
+	}
+	delete(s.objs, addr)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]PersistentAddress, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PersistentAddress, 0, len(s.objs))
+	for a := range s.objs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Len returns the number of stored OPRs.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objs)
+}
+
+// FileStore is a Store backed by a directory: each OPR is one file, and
+// the Object Persistent Address is the file name — exactly the paper's
+// "an Object Persistent Address will typically be a file name".
+type FileStore struct {
+	dir  string
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewFileStore creates (if needed) and opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+const fileExt = ".opr"
+
+// Put implements Store.
+func (s *FileStore) Put(o OPR) (PersistentAddress, error) {
+	if o.Saved.IsZero() {
+		o.Saved = time.Now()
+	}
+	s.mu.Lock()
+	s.next++
+	name := fmt.Sprintf("opr-%d-%d-%d%s", s.next, o.LOID.ClassID, o.LOID.ClassSpecific, fileExt)
+	s.mu.Unlock()
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, o.Marshal(nil), 0o644); err != nil {
+		return "", fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("persist: %w", err)
+	}
+	return PersistentAddress(name), nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(addr PersistentAddress) (OPR, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, string(addr)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return OPR{}, fmt.Errorf("%w: %s", ErrNotFound, addr)
+		}
+		return OPR{}, fmt.Errorf("persist: %w", err)
+	}
+	return Unmarshal(data)
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(addr PersistentAddress) error {
+	err := os.Remove(filepath.Join(s.dir, string(addr)))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, addr)
+	}
+	return err
+}
+
+// List implements Store.
+func (s *FileStore) List() ([]PersistentAddress, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var out []PersistentAddress
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), fileExt) {
+			out = append(out, PersistentAddress(e.Name()))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,347 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/loid"
+	"repro/internal/oa"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrUnbound reports that no binding could be obtained for a LOID.
+var ErrUnbound = errors.New("rt: no binding for target")
+
+// Resolver obtains bindings on local cache misses; it is typically
+// backed by the object's Binding Agent (§3.6), whose Object Address is
+// part of the object's persistent state.
+type Resolver interface {
+	// Resolve binds l to an Object Address (GetBinding(LOID)).
+	Resolve(l loid.LOID) (binding.Binding, error)
+	// Refresh asks for a different binding than the stale one passed
+	// in (GetBinding(binding), §3.6).
+	Refresh(stale binding.Binding) (binding.Binding, error)
+}
+
+// Caller is one object's Legion-aware communication layer (§4.1.2): it
+// caches bindings, consults its Resolver on misses, and detects and
+// repairs stale bindings (§4.1.4). A Caller may also be used
+// free-standing (not attached to a spawned object) as a client handle.
+type Caller struct {
+	node *Node
+	self loid.LOID
+	env  wire.Env
+
+	mu       sync.Mutex
+	resolver Resolver
+	cache    *binding.Cache
+	rng      *rand.Rand
+
+	// Timeout is the per-wave reply deadline (default 2s).
+	Timeout time.Duration
+	// MaxRefresh bounds stale-binding refresh attempts per invocation
+	// (default 2).
+	MaxRefresh int
+}
+
+// NewCaller builds a communication layer for self on node. resolver
+// may be nil (only cached/explicitly added bindings and direct
+// addresses will work — the bootstrap objects run this way).
+func NewCaller(node *Node, self loid.LOID, resolver Resolver) *Caller {
+	return &Caller{
+		node:       node,
+		self:       self,
+		env:        security.Env(self),
+		resolver:   resolver,
+		cache:      binding.NewCache(DefaultBindingCacheSize),
+		rng:        rand.New(rand.NewSource(int64(self.ClassID)<<32 ^ int64(self.ClassSpecific) ^ 0x5DEECE66D)),
+		Timeout:    2 * time.Second,
+		MaxRefresh: 2,
+	}
+}
+
+// DefaultBindingCacheSize is the default per-object binding cache
+// capacity; experiments override it via SetCache.
+const DefaultBindingCacheSize = 512
+
+// SetResolver installs or replaces the resolver.
+func (c *Caller) SetResolver(r Resolver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resolver = r
+}
+
+// SetCache replaces the binding cache (e.g. with a different capacity).
+func (c *Caller) SetCache(cache *binding.Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = cache
+}
+
+// Cache returns the binding cache (for inspection and explicit
+// AddBinding-style propagation).
+func (c *Caller) Cache() *binding.Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache
+}
+
+// SetEnv overrides the security environment used for outgoing calls
+// (delegating the Responsible/Security Agent roles, §2.4).
+func (c *Caller) SetEnv(env wire.Env) { c.env = env }
+
+// Env returns the caller's outgoing security environment.
+func (c *Caller) Env() wire.Env { return c.env }
+
+// Self returns the identity the caller acts as.
+func (c *Caller) Self() loid.LOID { return c.self }
+
+// AddBinding seeds the local cache (binding propagation, §3.6).
+func (c *Caller) AddBinding(b binding.Binding) { c.Cache().Add(b) }
+
+// resolveLocked order: cache, then resolver.
+func (c *Caller) resolve(target loid.LOID) (binding.Binding, error) {
+	cache := c.Cache()
+	if b, ok := cache.Get(target); ok {
+		return b, nil
+	}
+	c.mu.Lock()
+	r := c.resolver
+	c.mu.Unlock()
+	if r == nil {
+		return binding.Binding{}, fmt.Errorf("%w: %v (no resolver)", ErrUnbound, target)
+	}
+	b, err := r.Resolve(target)
+	if err != nil {
+		return binding.Binding{}, fmt.Errorf("%w: %v: %v", ErrUnbound, target, err)
+	}
+	cache.Add(b)
+	return b, nil
+}
+
+// Invoke performs a non-blocking method invocation and returns a
+// Future. Binding resolution and transmission happen before return;
+// only the reply is awaited through the Future.
+func (c *Caller) Invoke(target loid.LOID, method string, args ...[]byte) (*Future, error) {
+	b, err := c.resolve(target)
+	if err != nil {
+		return nil, err
+	}
+	return c.sendRequest(b.Address, target, method, args)
+}
+
+// Call is the synchronous convenience around Invoke: it awaits the
+// reply, transparently refreshing stale bindings and retrying
+// (§4.1.4: "when [a binding] doesn't work ... request that the binding
+// be refreshed").
+func (c *Caller) Call(target loid.LOID, method string, args ...[]byte) (*Result, error) {
+	b, err := c.resolve(target)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := c.deliver(b.Address, target, method, args)
+		if err == nil && res.Code != wire.ErrNoSuchObject && res.Code != wire.ErrUnavailable {
+			return res, nil
+		}
+		if attempt >= c.MaxRefresh {
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+		// The binding is stale or the endpoint unreachable: refresh.
+		nb, rerr := c.refresh(b)
+		if rerr != nil {
+			// A refresh failure with a merely-unavailable (not
+			// stale-signalled) binding usually means transient message
+			// loss; retransmit on the old binding instead of giving up
+			// (§4.1.4 expects the communication layer to absorb this).
+			if res != nil && res.Code == wire.ErrUnavailable {
+				c.Cache().Add(b)
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("rt: %v (refresh failed: %v)", err, rerr)
+			}
+			return res, nil
+		}
+		b = nb
+	}
+}
+
+func (c *Caller) refresh(stale binding.Binding) (binding.Binding, error) {
+	c.Cache().InvalidateBinding(stale)
+	c.mu.Lock()
+	r := c.resolver
+	c.mu.Unlock()
+	if r == nil {
+		return binding.Binding{}, ErrUnbound
+	}
+	nb, err := r.Refresh(stale)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	c.Cache().Add(nb)
+	return nb, nil
+}
+
+// CallAddr invokes a method at an explicit Object Address, bypassing
+// binding resolution. Bootstrap and Binding Agent clients use it (the
+// agent's address is part of the object's persistent state, §3.6).
+func (c *Caller) CallAddr(addr oa.Address, target loid.LOID, method string, args ...[]byte) (*Result, error) {
+	return c.deliver(addr, target, method, args)
+}
+
+// OneWay sends a method invocation with no reply expected.
+func (c *Caller) OneWay(target loid.LOID, method string, args ...[]byte) error {
+	b, err := c.resolve(target)
+	if err != nil {
+		return err
+	}
+	return c.OneWayAddr(b.Address, target, method, args...)
+}
+
+// OneWayAddr sends a no-reply invocation to an explicit Object
+// Address, bypassing binding resolution (used for push-style
+// notifications such as binding propagation, §4.1.4).
+func (c *Caller) OneWayAddr(addr oa.Address, target loid.LOID, method string, args ...[]byte) error {
+	msg := &wire.Message{
+		Kind:   wire.KindOneWay,
+		Target: target,
+		Method: method,
+		Env:    c.env,
+		Args:   args,
+	}
+	buf := msg.Marshal(nil)
+	waves := addr.Targets(c.intn)
+	var lastErr error = transport.ErrUnreachable
+	for _, wave := range waves {
+		sent := false
+		for _, e := range wave {
+			if err := c.node.send(e, buf); err == nil {
+				sent = true
+			} else {
+				lastErr = err
+			}
+		}
+		if sent {
+			return nil
+		}
+	}
+	return lastErr
+}
+
+// retryable reports reply codes that mean "try another replica or a
+// refreshed binding" rather than a definitive answer.
+func retryable(code wire.Code) bool {
+	return code == wire.ErrNoSuchObject || code == wire.ErrUnavailable
+}
+
+// deliver sends one request according to the address semantics and
+// waits for a definitive reply, walking failover waves on timeout or
+// unreachability (§3.4, §4.3). Within a multi-element wave (SemAll,
+// SemKofN) a dead replica's "no such object" does not defeat a live
+// replica's answer: the caller keeps listening until a definitive
+// reply, all contacted replicas have answered retryably, or the wave
+// deadline passes.
+func (c *Caller) deliver(addr oa.Address, target loid.LOID, method string, args [][]byte) (*Result, error) {
+	waves := addr.Targets(c.intn)
+	if len(waves) == 0 {
+		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
+	}
+	var last *Result
+	for _, wave := range waves {
+		f, sent, err := c.sendTo(wave, target, method, args)
+		if err != nil {
+			last = &Result{Code: wire.ErrUnavailable, ErrText: err.Error()}
+			continue
+		}
+		timer := time.NewTimer(c.Timeout)
+		collected := 0
+		waveDone := false
+		for !waveDone {
+			select {
+			case res := <-f.ch:
+				collected++
+				if !retryable(res.Code) {
+					timer.Stop()
+					c.node.cancel(f.id)
+					return res, nil
+				}
+				last = res
+				if collected >= sent {
+					waveDone = true
+				}
+			case <-timer.C:
+				c.node.cancel(f.id)
+				if last == nil {
+					last = &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}
+				}
+				waveDone = true
+			}
+		}
+		timer.Stop()
+	}
+	if last == nil {
+		last = &Result{Code: wire.ErrUnavailable, ErrText: "no reachable address"}
+	}
+	return last, nil
+}
+
+func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, args [][]byte) (*Future, error) {
+	waves := addr.Targets(c.intn)
+	if len(waves) == 0 {
+		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
+	}
+	f, _, err := c.sendTo(waves[0], target, method, args)
+	return f, err
+}
+
+// sendTo transmits one request wave, returning the future and the
+// number of elements actually contacted.
+func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte) (*Future, int, error) {
+	f := c.node.newFuture(len(wave))
+	msg := &wire.Message{
+		Kind:    wire.KindRequest,
+		ID:      f.id,
+		Target:  target,
+		Method:  method,
+		Env:     c.env,
+		ReplyTo: c.node.Address(),
+		Args:    args,
+	}
+	buf := msg.Marshal(nil)
+	sent := 0
+	var lastErr error
+	for _, e := range wave {
+		if err := c.node.send(e, buf); err == nil {
+			sent++
+		} else {
+			lastErr = err
+		}
+	}
+	if sent == 0 {
+		c.node.cancel(f.id)
+		if lastErr == nil {
+			lastErr = transport.ErrUnreachable
+		}
+		return nil, 0, lastErr
+	}
+	if sent < len(wave) {
+		c.node.adjustPending(f.id, sent-len(wave))
+	}
+	return f, sent, nil
+}
+
+func (c *Caller) intn(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}

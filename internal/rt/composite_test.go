@@ -1,0 +1,120 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/idl"
+)
+
+func partImpl(name, method string, reply string) *Behavior {
+	var state []byte
+	b := &Behavior{
+		Iface: idl.NewInterface(name, idl.MethodSig{Name: method,
+			Returns: []idl.Param{{Name: "r", Type: idl.TString}}}),
+		Save:    func() ([]byte, error) { return state, nil },
+		Restore: func(s []byte) error { state = append([]byte(nil), s...); return nil },
+	}
+	b.Handlers = map[string]Handler{
+		method: func(inv *Invocation) ([][]byte, error) {
+			return [][]byte{[]byte(reply)}, nil
+		},
+	}
+	return b
+}
+
+func TestCompositeDispatchRouting(t *testing.T) {
+	c, err := NewComposite("Combined",
+		partImpl("A", "MA", "from-a"),
+		partImpl("B", "MB", "from-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for method, want := range map[string]string{"MA": "from-a", "MB": "from-b"} {
+		out, err := c.Dispatch(&Invocation{Method: method})
+		if err != nil || string(out[0]) != want {
+			t.Errorf("%s -> %q, %v", method, out, err)
+		}
+	}
+	if _, err := c.Dispatch(&Invocation{Method: "MC"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestCompositeFirstPartWins(t *testing.T) {
+	c, err := NewComposite("Combined",
+		partImpl("A", "M", "first"),
+		partImpl("B", "M", "second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Dispatch(&Invocation{Method: "M"})
+	if err != nil || string(out[0]) != "first" {
+		t.Errorf("Dispatch = %q, %v (want first-base-wins)", out, err)
+	}
+}
+
+func TestCompositeInterfaceIsUnion(t *testing.T) {
+	c, _ := NewComposite("U", partImpl("A", "MA", "a"), partImpl("B", "MB", "b"))
+	if !c.Interface().Has("MA") || !c.Interface().Has("MB") {
+		t.Error("interface union incomplete")
+	}
+	if c.Interface().Name != "U" {
+		t.Errorf("name = %q", c.Interface().Name)
+	}
+	if len(c.Parts()) != 2 {
+		t.Errorf("parts = %d", len(c.Parts()))
+	}
+}
+
+func TestCompositeNeedsParts(t *testing.T) {
+	if _, err := NewComposite("E"); err == nil {
+		t.Error("empty composite accepted")
+	}
+}
+
+func TestCompositeStateRoundTrip(t *testing.T) {
+	a, b := partImpl("A", "MA", "a"), partImpl("B", "MB", "b")
+	c, _ := NewComposite("C", a, b)
+	a.Restore([]byte("state-a"))
+	b.Restore([]byte("state-b"))
+	blob, err := c.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a2, b2 := partImpl("A", "MA", "a"), partImpl("B", "MB", "b")
+	c2, _ := NewComposite("C", a2, b2)
+	if err := c2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a2.SaveState()
+	sb, _ := b2.SaveState()
+	if string(sa) != "state-a" || string(sb) != "state-b" {
+		t.Errorf("restored states %q/%q", sa, sb)
+	}
+}
+
+func TestCompositeRestoreEmptyIsFresh(t *testing.T) {
+	c, _ := NewComposite("C", partImpl("A", "MA", "a"))
+	if err := c.RestoreState(nil); err != nil {
+		t.Errorf("empty restore: %v", err)
+	}
+}
+
+func TestCompositeRestoreErrors(t *testing.T) {
+	c, _ := NewComposite("C", partImpl("A", "MA", "a"), partImpl("B", "MB", "b"))
+	blob, _ := c.SaveState()
+	// wrong part count
+	one, _ := NewComposite("C", partImpl("A", "MA", "a"))
+	if err := one.RestoreState(blob); err == nil {
+		t.Error("part count mismatch accepted")
+	}
+	for _, n := range []int{2, 6, len(blob) - 1} {
+		if err := c.RestoreState(blob[:n]); err == nil {
+			t.Errorf("truncated state (%d bytes) accepted", n)
+		}
+	}
+	if err := c.RestoreState(append(blob, 1)); err == nil {
+		t.Error("trailing state accepted")
+	}
+}

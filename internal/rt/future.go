@@ -1,0 +1,106 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrTimeout reports that no reply arrived within the wait deadline.
+var ErrTimeout = errors.New("rt: invocation timed out")
+
+// Result is the outcome of an invocation: the reply code, optional
+// error text, and the result arguments.
+type Result struct {
+	Code    wire.Code
+	ErrText string
+	Results [][]byte
+}
+
+// Err maps the reply to an error: nil for OK, a ResultError otherwise.
+func (r *Result) Err() error {
+	if r.Code == wire.OK {
+		return nil
+	}
+	return &ResultError{Code: r.Code, Text: r.ErrText}
+}
+
+// Result returns result argument i.
+func (r *Result) Result(i int) ([]byte, error) {
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if i >= len(r.Results) {
+		return nil, fmt.Errorf("rt: missing result %d (have %d)", i, len(r.Results))
+	}
+	return r.Results[i], nil
+}
+
+// ResultError is a non-OK reply surfaced as an error.
+type ResultError struct {
+	Code wire.Code
+	Text string
+}
+
+func (e *ResultError) Error() string {
+	if e.Text == "" {
+		return fmt.Sprintf("rt: remote error: %s", e.Code)
+	}
+	return fmt.Sprintf("rt: remote error: %s: %s", e.Code, e.Text)
+}
+
+// IsCode reports whether err is a ResultError with the given code.
+func IsCode(err error, code wire.Code) bool {
+	var re *ResultError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// Future is the handle to a pending non-blocking invocation (§2:
+// "method calls are non-blocking"). The caller may continue working and
+// collect the result later. A request sent to a replicated wave may
+// receive one reply per contacted replica; the channel is sized for all
+// of them, and remaining (guarded by the node's pending lock) counts
+// replies still outstanding.
+type Future struct {
+	id        uint64
+	ch        chan *Result
+	node      *Node
+	remaining int
+}
+
+// Done returns a channel that delivers the result exactly once.
+func (f *Future) Done() <-chan *Result { return f.ch }
+
+// Wait blocks until the reply arrives or the timeout elapses. On
+// timeout the pending entry is cancelled and ErrTimeout returned; a
+// reply that arrives later is dropped.
+func (f *Future) Wait(timeout time.Duration) (*Result, error) {
+	if timeout <= 0 {
+		res := <-f.ch
+		return res, nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case res := <-f.ch:
+		return res, nil
+	case <-t.C:
+		f.node.cancel(f.id)
+		// A reply may have raced the cancellation; prefer it.
+		select {
+		case res := <-f.ch:
+			return res, nil
+		default:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+func (f *Future) complete(res *Result) {
+	select {
+	case f.ch <- res:
+	default: // already completed or abandoned
+	}
+}

@@ -1,0 +1,122 @@
+// Package rt is the Legion object runtime: it gives each active object
+// an address-space-disjoint existence (a mailbox and a dispatch
+// goroutine reachable only through a transport endpoint), implements
+// non-blocking method invocation with futures (§2), provides the
+// object-mandatory member functions (§2.1: MayI, Iam, SaveState,
+// RestoreState, GetInterface), and contains the "Legion-aware
+// communication layer" of §4.1.2 — a per-object binding cache with
+// stale-binding detection and refresh (§4.1.4).
+package rt
+
+import (
+	"fmt"
+
+	"repro/internal/idl"
+	"repro/internal/wire"
+)
+
+// Invocation describes one incoming method call as seen by an object
+// implementation.
+type Invocation struct {
+	Method string
+	Args   [][]byte
+	// Env is the security environment triple the call is performed in
+	// (§2.4).
+	Env wire.Env
+	// Obj is the runtime handle of the receiving object; handlers use
+	// it to reach their own LOID and Caller.
+	Obj *Object
+}
+
+// Arg returns argument i or an error mentioning the method, keeping
+// handler argument unpacking terse.
+func (inv *Invocation) Arg(i int) ([]byte, error) {
+	if i >= len(inv.Args) {
+		return nil, fmt.Errorf("%s: missing argument %d (have %d)", inv.Method, i, len(inv.Args))
+	}
+	return inv.Args[i], nil
+}
+
+// Handler implements one member function. A non-nil error is reported
+// to the caller as an application error (wire.ErrApp).
+type Handler func(inv *Invocation) ([][]byte, error)
+
+// Impl is the behaviour of a Legion object. The runtime supplies the
+// object-mandatory member functions around it: MayI is enforced before
+// Dispatch; Iam, Ping and GetInterface are answered from the runtime;
+// SaveState/RestoreState are routed to the Impl.
+type Impl interface {
+	// Interface describes the exported member functions.
+	Interface() *idl.Interface
+	// Dispatch runs one method. Unknown methods must return
+	// ErrNoSuchMethod (wrapped or direct).
+	Dispatch(inv *Invocation) ([][]byte, error)
+	// SaveState serializes the object's state for an Object Persistent
+	// Representation (§3.1.1).
+	SaveState() ([]byte, error)
+	// RestoreState reinitializes the object from a SaveState blob.
+	RestoreState(state []byte) error
+}
+
+// Binder is an optional Impl extension: implementations that need to
+// invoke other objects receive their runtime handle at spawn time.
+type Binder interface {
+	Bind(o *Object)
+}
+
+// Stopper is an optional Impl extension: implementations with
+// background resources are told when their object is torn down.
+type Stopper interface {
+	Stop()
+}
+
+// ErrNoSuchMethod is returned by Dispatch for unknown methods.
+type NoSuchMethodError struct{ Method string }
+
+func (e *NoSuchMethodError) Error() string { return fmt.Sprintf("no such method %q", e.Method) }
+
+// Behavior is a map-based Impl for objects defined as a set of handler
+// functions. Save/Restore may be nil for stateless objects.
+type Behavior struct {
+	Iface    *idl.Interface
+	Handlers map[string]Handler
+	Save     func() ([]byte, error)
+	Restore  func(state []byte) error
+	// OnBind, if set, receives the runtime handle at spawn time.
+	OnBind func(o *Object)
+}
+
+// Interface implements Impl.
+func (b *Behavior) Interface() *idl.Interface { return b.Iface }
+
+// Dispatch implements Impl.
+func (b *Behavior) Dispatch(inv *Invocation) ([][]byte, error) {
+	h, ok := b.Handlers[inv.Method]
+	if !ok {
+		return nil, &NoSuchMethodError{Method: inv.Method}
+	}
+	return h(inv)
+}
+
+// SaveState implements Impl.
+func (b *Behavior) SaveState() ([]byte, error) {
+	if b.Save == nil {
+		return nil, nil
+	}
+	return b.Save()
+}
+
+// RestoreState implements Impl.
+func (b *Behavior) RestoreState(state []byte) error {
+	if b.Restore == nil {
+		return nil
+	}
+	return b.Restore(state)
+}
+
+// Bind implements Binder.
+func (b *Behavior) Bind(o *Object) {
+	if b.OnBind != nil {
+		b.OnBind(o)
+	}
+}

@@ -1,0 +1,259 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/loid"
+	"repro/internal/metrics"
+	"repro/internal/oa"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Node hosts active Legion objects on one transport endpoint. In the
+// paper's terms a Node is one address space on a host; the Host Object
+// for the machine starts objects by spawning them onto nodes. Incoming
+// requests are routed to the target object's mailbox; requests for
+// objects the node does not (or no longer) hosts are answered with
+// wire.ErrNoSuchObject, which is how callers discover stale bindings
+// (§4.1.4).
+type Node struct {
+	ep   transport.Endpoint
+	reg  *metrics.Registry
+	name string
+
+	mu      sync.Mutex
+	objects map[loid.LOID]*Object // keyed by LOID identity
+	closed  bool
+
+	pmu     sync.Mutex
+	pending map[uint64]*Future
+
+	nextMsg atomic.Uint64
+}
+
+// NewNode creates a node with a fresh endpoint on t. Metrics are
+// recorded into reg (nil discards); name prefixes the node's metric
+// names.
+func NewNode(t transport.Transport, reg *metrics.Registry, name string) (*Node, error) {
+	if reg == nil {
+		reg = metrics.Nop
+	}
+	ep, err := t.NewEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		ep:      ep,
+		reg:     reg,
+		name:    name,
+		objects: make(map[loid.LOID]*Object),
+		pending: make(map[uint64]*Future),
+	}
+	ep.SetHandler(n.receive)
+	return n, nil
+}
+
+// Element returns the transport element other nodes use to reach this
+// node's objects.
+func (n *Node) Element() oa.Element { return n.ep.Element() }
+
+// Address returns the node's element as a single-element Object
+// Address.
+func (n *Node) Address() oa.Address { return oa.Single(n.ep.Element()) }
+
+// Registry returns the node's metrics registry.
+func (n *Node) Registry() *metrics.Registry { return n.reg }
+
+// Spawn activates an object on this node: the impl becomes reachable
+// at the node's address under l. label names the object in metrics
+// (e.g. "class/L256.0"); empty disables per-object counting.
+func (n *Node) Spawn(l loid.LOID, impl Impl, opts ...SpawnOption) (*Object, error) {
+	o := &Object{
+		node:    n,
+		self:    l,
+		impl:    impl,
+		mailbox: make(chan *wire.Message, mailboxDepth),
+		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.caller == nil {
+		o.caller = NewCaller(n, l, nil)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if _, exists := n.objects[l.ID()]; exists {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("rt: object %v already active on node %s", l, n.name)
+	}
+	n.objects[l.ID()] = o
+	n.mu.Unlock()
+	if b, ok := impl.(Binder); ok {
+		b.Bind(o)
+	}
+	workers := o.concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
+		go o.loop()
+	}
+	return o, nil
+}
+
+// Lookup returns the active object registered under l, if any.
+func (n *Node) Lookup(l loid.LOID) (*Object, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	o, ok := n.objects[l.ID()]
+	return o, ok
+}
+
+// Kill deactivates the object registered under l and removes it from
+// the node. Subsequent messages for l are answered ErrNoSuchObject. It
+// reports whether an object was removed.
+func (n *Node) Kill(l loid.LOID) bool {
+	n.mu.Lock()
+	o, ok := n.objects[l.ID()]
+	if ok {
+		delete(n.objects, l.ID())
+	}
+	n.mu.Unlock()
+	if ok {
+		o.stop()
+	}
+	return ok
+}
+
+// Objects returns the LOIDs of all active objects on the node.
+func (n *Node) Objects() []loid.LOID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]loid.LOID, 0, len(n.objects))
+	for _, o := range n.objects {
+		out = append(out, o.self)
+	}
+	return out
+}
+
+// Close tears down the node, all its objects, and its endpoint.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	objs := make([]*Object, 0, len(n.objects))
+	for _, o := range n.objects {
+		objs = append(objs, o)
+	}
+	n.objects = make(map[loid.LOID]*Object)
+	n.mu.Unlock()
+	for _, o := range objs {
+		o.stop()
+	}
+	return n.ep.Close()
+}
+
+// receive is the endpoint handler: it decodes and routes one message.
+func (n *Node) receive(data []byte) {
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		n.reg.Counter("node/" + n.name + "/garbage").Inc()
+		return
+	}
+	switch msg.Kind {
+	case wire.KindReply:
+		n.pmu.Lock()
+		f, ok := n.pending[msg.ID]
+		if ok {
+			f.remaining--
+			if f.remaining <= 0 {
+				delete(n.pending, msg.ID)
+			}
+		}
+		n.pmu.Unlock()
+		if ok {
+			f.complete(&Result{Code: msg.Code, ErrText: msg.ErrText, Results: msg.Args})
+		}
+	case wire.KindRequest, wire.KindOneWay:
+		n.mu.Lock()
+		o, ok := n.objects[msg.Target.ID()]
+		n.mu.Unlock()
+		if !ok {
+			// The sender's binding is stale (§4.1.4); tell it so.
+			if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
+				n.replyTo(msg, wire.ErrNoSuchObject, fmt.Sprintf("object %v is not active here", msg.Target), nil)
+			}
+			n.reg.Counter("node/" + n.name + "/stale-target").Inc()
+			return
+		}
+		select {
+		case o.mailbox <- msg:
+		case <-o.done:
+			if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
+				n.replyTo(msg, wire.ErrNoSuchObject, "object stopped", nil)
+			}
+		}
+	}
+}
+
+func (n *Node) replyTo(req *wire.Message, code wire.Code, errText string, results [][]byte) {
+	rep := req.Reply(code, errText, results)
+	buf := rep.Marshal(nil)
+	// Best effort; the reply address may itself be gone.
+	for _, e := range req.ReplyTo.Elements {
+		if err := n.ep.Send(e, buf); err == nil {
+			return
+		}
+	}
+}
+
+// newFuture registers a pending future under a fresh correlation id,
+// expecting up to expect replies (one per replica contacted).
+func (n *Node) newFuture(expect int) *Future {
+	if expect < 1 {
+		expect = 1
+	}
+	id := n.nextMsg.Add(1)
+	f := &Future{id: id, ch: make(chan *Result, expect), node: n, remaining: expect}
+	n.pmu.Lock()
+	n.pending[id] = f
+	n.pmu.Unlock()
+	return f
+}
+
+func (n *Node) cancel(id uint64) {
+	n.pmu.Lock()
+	delete(n.pending, id)
+	n.pmu.Unlock()
+}
+
+// adjustPending lowers a future's expected reply count after some
+// sends failed locally (those replicas will never answer).
+func (n *Node) adjustPending(id uint64, delta int) {
+	n.pmu.Lock()
+	if f, ok := n.pending[id]; ok {
+		f.remaining += delta
+		if f.remaining <= 0 {
+			delete(n.pending, id)
+		}
+	}
+	n.pmu.Unlock()
+}
+
+// send transmits an encoded message to one element.
+func (n *Node) send(to oa.Element, data []byte) error {
+	return n.ep.Send(to, data)
+}
+
+// mailboxDepth bounds each object's queue of unprocessed messages.
+const mailboxDepth = 1024

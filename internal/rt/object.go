@@ -1,0 +1,215 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/idl"
+	"repro/internal/loid"
+	"repro/internal/security"
+	"repro/internal/wire"
+)
+
+// Object is the runtime handle of one active Legion object: its LOID,
+// its behaviour, its security policy, and its mailbox. Methods execute
+// sequentially on the object's own goroutine; the mailbox accepts
+// messages in any order while a method runs (§2).
+type Object struct {
+	node        *Node
+	self        loid.LOID
+	impl        Impl
+	policy      security.Policy
+	label       string
+	caller      *Caller
+	concurrency int
+
+	mailbox chan *wire.Message
+	done    chan struct{}
+	once    sync.Once
+}
+
+// SpawnOption configures an object at spawn time.
+type SpawnOption func(*Object)
+
+// WithPolicy installs the object's MayI policy (default: allow all —
+// "these functions may default to empty for the case of no security",
+// §2.4).
+func WithPolicy(p security.Policy) SpawnOption {
+	return func(o *Object) { o.policy = p }
+}
+
+// WithLabel names the object in metrics; each served request increments
+// the counter "req/<label>".
+func WithLabel(label string) SpawnOption {
+	return func(o *Object) { o.label = label }
+}
+
+// WithCaller installs a pre-configured communication layer (binding
+// cache size, resolver, timeouts).
+func WithCaller(c *Caller) SpawnOption {
+	return func(o *Object) { o.caller = c }
+}
+
+// WithConcurrency runs n dispatch workers instead of one. The default
+// single worker gives user objects the simple sequential model; core
+// service objects (classes, Magistrates, Binding Agents, Host Objects)
+// are internally synchronized and run concurrently so that a service
+// call that itself invokes another object does not stall the mailbox —
+// without this, mutually-waiting service objects could distributedly
+// deadlock. The Impl must be safe for concurrent Dispatch.
+func WithConcurrency(n int) SpawnOption {
+	return func(o *Object) { o.concurrency = n }
+}
+
+// LOID returns the object's name.
+func (o *Object) LOID() loid.LOID { return o.self }
+
+// Node returns the hosting node.
+func (o *Object) Node() *Node { return o.node }
+
+// Impl returns the object's behaviour (used by co-located runtime
+// components such as Host Objects during deactivation).
+func (o *Object) Impl() Impl { return o.impl }
+
+// Caller returns the object's communication layer.
+func (o *Object) Caller() *Caller { return o.caller }
+
+// SetPolicy replaces the object's MayI policy at run time.
+func (o *Object) SetPolicy(p security.Policy) { o.policy = p }
+
+// loop is one dispatch worker; Spawn starts o.concurrency of them.
+func (o *Object) loop() {
+	for {
+		select {
+		case msg := <-o.mailbox:
+			o.serve(msg)
+		case <-o.done:
+			return
+		}
+	}
+}
+
+func (o *Object) serve(msg *wire.Message) {
+	if o.label != "" {
+		o.node.reg.Counter("req/" + o.label).Inc()
+	}
+	code, errText, results := o.safeDispatch(msg)
+	if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
+		o.node.replyTo(msg, code, errText, results)
+	}
+}
+
+// safeDispatch runs dispatch with panic confinement: a panicking
+// method is reported to the caller as an application error and counted
+// as an object exception, rather than taking the whole node down —
+// the runtime-level half of the Host Object's duty to "report object
+// exceptions" (§2.3).
+func (o *Object) safeDispatch(msg *wire.Message) (code wire.Code, errText string, results [][]byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.node.reg.Counter("exceptions/node-" + o.node.name).Inc()
+			code, errText, results = wire.ErrApp, fmt.Sprintf("object exception in %s: %v", msg.Method, r), nil
+		}
+	}()
+	return o.dispatch(msg)
+}
+
+// dispatch enforces MayI, answers runtime-provided member functions,
+// and routes the rest to the Impl.
+func (o *Object) dispatch(msg *wire.Message) (wire.Code, string, [][]byte) {
+	// Every method invocation is performed in the (RA, SA, CA)
+	// environment and checked by the object's MayI (§2.4). MayI itself
+	// is always answerable so callers can probe their own access.
+	if o.policy != nil && msg.Method != "MayI" {
+		if err := o.policy.MayI(msg.Env, msg.Method); err != nil {
+			return wire.ErrDenied, err.Error(), nil
+		}
+	}
+	switch msg.Method {
+	case "Ping":
+		return wire.OK, "", nil
+	case "Iam":
+		return wire.OK, "", [][]byte{security.Identity{LOID: o.self}.Encode()}
+	case "MayI":
+		// MayI(method) returns whether the calling environment could
+		// invoke the named method.
+		if len(msg.Args) != 1 {
+			return wire.ErrBadRequest, "MayI needs one argument", nil
+		}
+		if o.policy != nil {
+			if err := o.policy.MayI(msg.Env, wire.AsString(msg.Args[0])); err != nil {
+				return wire.OK, "", [][]byte{wire.Bool(false), wire.String(err.Error())}
+			}
+		}
+		return wire.OK, "", [][]byte{wire.Bool(true), wire.String("")}
+	case "GetInterface":
+		return wire.OK, "", [][]byte{o.FullInterface().Marshal(nil)}
+	case "SaveState":
+		state, err := o.impl.SaveState()
+		if err != nil {
+			return wire.ErrApp, err.Error(), nil
+		}
+		return wire.OK, "", [][]byte{state}
+	case "RestoreState":
+		if len(msg.Args) != 1 {
+			return wire.ErrBadRequest, "RestoreState needs one argument", nil
+		}
+		if err := o.impl.RestoreState(msg.Args[0]); err != nil {
+			return wire.ErrApp, err.Error(), nil
+		}
+		return wire.OK, "", nil
+	}
+	inv := &Invocation{Method: msg.Method, Args: msg.Args, Env: msg.Env, Obj: o}
+	results, err := o.impl.Dispatch(inv)
+	if err != nil {
+		if _, ok := err.(*NoSuchMethodError); ok {
+			return wire.ErrNoSuchMethod, err.Error(), nil
+		}
+		return wire.ErrApp, err.Error(), results
+	}
+	return wire.OK, "", results
+}
+
+// FullInterface is the object's complete exported interface: the
+// object-mandatory member functions provided by the runtime plus the
+// Impl's own (§2.1: "all Legion objects export a common set of
+// object-mandatory member functions").
+func (o *Object) FullInterface() *idl.Interface {
+	full := ObjectMandatory().Clone("")
+	if ifc := o.impl.Interface(); ifc != nil {
+		full.Name = ifc.Name
+		// The Impl may redefine mandatory functions; its signatures win.
+		_ = full.Merge(ifc, idl.ConflictOverride)
+	}
+	return full
+}
+
+func (o *Object) stop() {
+	o.once.Do(func() {
+		close(o.done)
+		if s, ok := o.impl.(Stopper); ok {
+			s.Stop()
+		}
+	})
+}
+
+var objectMandatoryOnce sync.Once
+var objectMandatory *idl.Interface
+
+// ObjectMandatory returns the interface every Legion object exports
+// (§2.1): MayI, Iam, Ping, GetInterface, SaveState, RestoreState.
+func ObjectMandatory() *idl.Interface {
+	objectMandatoryOnce.Do(func() {
+		objectMandatory = idl.NewInterface("LegionObject",
+			idl.MethodSig{Name: "Ping"},
+			idl.MethodSig{Name: "Iam", Returns: []idl.Param{{Name: "identity", Type: idl.TLOID}}},
+			idl.MethodSig{Name: "MayI",
+				Params:  []idl.Param{{Name: "method", Type: idl.TString}},
+				Returns: []idl.Param{{Name: "allowed", Type: idl.TBool}, {Name: "reason", Type: idl.TString}}},
+			idl.MethodSig{Name: "GetInterface", Returns: []idl.Param{{Name: "interface", Type: idl.TBytes}}},
+			idl.MethodSig{Name: "SaveState", Returns: []idl.Param{{Name: "state", Type: idl.TBytes}}},
+			idl.MethodSig{Name: "RestoreState", Params: []idl.Param{{Name: "state", Type: idl.TBytes}}},
+		)
+	})
+	return objectMandatory
+}

@@ -1,0 +1,190 @@
+// Package sched implements Scheduling Agents. Scheduling is
+// "intentionally left out of the core object model, except for a few
+// hooks" (§3.7): classes record a Scheduling Agent per object, and
+// Magistrates accept host suggestions through the second parameter of
+// Activate(LOID, LOID) (§3.8). A Scheduling Agent is an ordinary
+// Legion object whose PickHost member function turns a candidate host
+// list into a placement suggestion; the policies here are the
+// mechanisms the paper expects policy authors to build.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/host"
+	"repro/internal/idl"
+	"repro/internal/loid"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// Interface is the member-function set of a Scheduling Agent.
+var Interface = idl.NewInterface("LegionSchedulingAgent",
+	idl.MethodSig{Name: "PickHost",
+		Params:  []idl.Param{{Name: "candidates", Type: idl.TBytes}},
+		Returns: []idl.Param{{Name: "host", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "PolicyName",
+		Returns: []idl.Param{{Name: "name", Type: idl.TString}}},
+)
+
+// Policy chooses one host from a non-empty candidate list. ask lets
+// load-aware policies query candidate Host Objects (it may be nil for
+// load-oblivious policies).
+type Policy interface {
+	Pick(candidates []loid.LOID, ask func(loid.LOID) (host.State, error)) (loid.LOID, error)
+	Name() string
+}
+
+// RoundRobin rotates over the candidates.
+type RoundRobin struct {
+	mu sync.Mutex
+	i  int
+}
+
+func (p *RoundRobin) Pick(cs []loid.LOID, _ func(loid.LOID) (host.State, error)) (loid.LOID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := cs[p.i%len(cs)]
+	p.i++
+	return h, nil
+}
+
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Random picks uniformly at random.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom builds a seeded random policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *Random) Pick(cs []loid.LOID, _ func(loid.LOID) (host.State, error)) (loid.LOID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return cs[p.rng.Intn(len(cs))], nil
+}
+
+func (p *Random) Name() string { return "random" }
+
+// LeastLoaded queries every candidate's GetState and picks the host
+// running the fewest objects; unreachable hosts are skipped.
+type LeastLoaded struct{}
+
+func (LeastLoaded) Pick(cs []loid.LOID, ask func(loid.LOID) (host.State, error)) (loid.LOID, error) {
+	if ask == nil {
+		return cs[0], nil
+	}
+	best := loid.Nil
+	bestLoad := ^uint64(0)
+	for _, c := range cs {
+		st, err := ask(c)
+		if err != nil {
+			continue
+		}
+		if st.Objects < bestLoad {
+			best, bestLoad = c, st.Objects
+		}
+	}
+	if best.IsNil() {
+		return loid.Nil, fmt.Errorf("sched: no candidate host reachable")
+	}
+	return best, nil
+}
+
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Agent is the Scheduling Agent object implementation.
+type Agent struct {
+	policy Policy
+	obj    *rt.Object
+}
+
+// NewAgent builds a Scheduling Agent with the given policy.
+func NewAgent(policy Policy) *Agent {
+	return &Agent{policy: policy}
+}
+
+// Interface implements rt.Impl.
+func (a *Agent) Interface() *idl.Interface { return Interface }
+
+// Bind implements rt.Binder.
+func (a *Agent) Bind(o *rt.Object) { a.obj = o }
+
+// Dispatch implements rt.Impl.
+func (a *Agent) Dispatch(inv *rt.Invocation) ([][]byte, error) {
+	switch inv.Method {
+	case "PickHost":
+		raw, err := inv.Arg(0)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := wire.AsLOIDList(raw)
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("sched: empty candidate list")
+		}
+		ask := func(h loid.LOID) (host.State, error) {
+			return host.NewClient(a.obj.Caller(), h).GetState()
+		}
+		h, err := a.policy.Pick(cs, ask)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{wire.LOID(h)}, nil
+	case "PolicyName":
+		return [][]byte{wire.String(a.policy.Name())}, nil
+	}
+	return nil, &rt.NoSuchMethodError{Method: inv.Method}
+}
+
+// SaveState implements rt.Impl (policies are configuration, not
+// state).
+func (a *Agent) SaveState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements rt.Impl.
+func (a *Agent) RestoreState([]byte) error { return nil }
+
+// Client is a typed handle on a remote Scheduling Agent.
+type Client struct {
+	c     *rt.Caller
+	agent loid.LOID
+}
+
+// NewClient wraps caller for invocations on the agent.
+func NewClient(c *rt.Caller, agent loid.LOID) *Client {
+	return &Client{c: c, agent: agent}
+}
+
+// PickHost asks the agent to choose among candidates.
+func (cl *Client) PickHost(candidates []loid.LOID) (loid.LOID, error) {
+	res, err := cl.c.Call(cl.agent, "PickHost", wire.LOIDList(candidates))
+	if err != nil {
+		return loid.Nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return loid.Nil, err
+	}
+	return wire.AsLOID(raw)
+}
+
+// PolicyName reports the agent's policy.
+func (cl *Client) PolicyName() (string, error) {
+	res, err := cl.c.Call(cl.agent, "PolicyName")
+	if err != nil {
+		return "", err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return "", err
+	}
+	return wire.AsString(raw), nil
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/host"
+	"repro/internal/idl"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/rt"
+	"repro/internal/transport"
+)
+
+func candidates(n int) []loid.LOID {
+	out := make([]loid.LOID, n)
+	for i := range out {
+		out[i] = loid.NewNoKey(loid.ClassIDLegionHost, uint64(i+1))
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := &RoundRobin{}
+	cs := candidates(3)
+	var got []loid.LOID
+	for i := 0; i < 6; i++ {
+		h, err := p.Pick(cs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, h)
+	}
+	for i := 0; i < 3; i++ {
+		if got[i] != cs[i] || got[i+3] != cs[i] {
+			t.Errorf("round robin order wrong: %v", got)
+		}
+	}
+}
+
+func TestRandomCoversCandidates(t *testing.T) {
+	p := NewRandom(7)
+	cs := candidates(3)
+	seen := map[loid.LOID]bool{}
+	for i := 0; i < 100; i++ {
+		h, _ := p.Pick(cs, nil)
+		seen[h] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("random policy never chose some hosts: %v", seen)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	cs := candidates(3)
+	loads := map[loid.LOID]uint64{cs[0]: 5, cs[1]: 1, cs[2]: 3}
+	ask := func(h loid.LOID) (host.State, error) {
+		return host.State{Objects: loads[h]}, nil
+	}
+	h, err := LeastLoaded{}.Pick(cs, ask)
+	if err != nil || h != cs[1] {
+		t.Errorf("Pick = %v, %v", h, err)
+	}
+	// nil ask degrades to first candidate.
+	if h, _ := (LeastLoaded{}).Pick(cs, nil); h != cs[0] {
+		t.Error("nil-ask fallback wrong")
+	}
+}
+
+func TestAgentOverWire(t *testing.T) {
+	f := transport.NewFabric(nil)
+	defer f.Close()
+	impls := implreg.NewRegistry()
+	impls.MustRegister("noop", func() rt.Impl {
+		return &rt.Behavior{Iface: idl.NewInterface("Noop")}
+	})
+
+	// Two hosts with different loads.
+	var hostLs []loid.LOID
+	var hosts []*host.Host
+	resolver := map[loid.LOID]binding.Binding{}
+	for i := 0; i < 2; i++ {
+		n, _ := rt.NewNode(f, nil, "h")
+		defer n.Close()
+		hl := loid.NewNoKey(loid.ClassIDLegionHost, uint64(i+1))
+		h := host.New(hl, n, impls, nil)
+		n.Spawn(hl, h)
+		hostLs = append(hostLs, hl)
+		hosts = append(hosts, h)
+		resolver[hl.ID()] = binding.Forever(hl, n.Address())
+	}
+
+	agentNode, _ := rt.NewNode(f, nil, "agent")
+	defer agentNode.Close()
+	agentL := loid.NewNoKey(400, 1)
+	agent := NewAgent(LeastLoaded{})
+	agentCaller := rt.NewCaller(agentNode, agentL, nil)
+	agentCaller.Timeout = time.Second
+	for _, b := range resolver {
+		agentCaller.AddBinding(b)
+	}
+	if _, err := agentNode.Spawn(agentL, agent, rt.WithCaller(agentCaller)); err != nil {
+		t.Fatal(err)
+	}
+
+	clientNode, _ := rt.NewNode(f, nil, "c")
+	defer clientNode.Close()
+	caller := rt.NewCaller(clientNode, loid.NewNoKey(300, 1), nil)
+	caller.Timeout = time.Second
+	caller.AddBinding(binding.Forever(agentL, agentNode.Address()))
+	caller.AddBinding(resolver[hostLs[0].ID()])
+	cl := NewClient(caller, agentL)
+
+	// Load host 0 with two objects.
+	hc := host.NewClient(caller, hostLs[0])
+	hc.StartObject(loid.NewNoKey(256, 1), "noop", nil)
+	hc.StartObject(loid.NewNoKey(256, 2), "noop", nil)
+
+	picked, err := cl.PickHost(hostLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !picked.SameObject(hostLs[1]) {
+		t.Errorf("picked %v, want the unloaded host %v", picked, hostLs[1])
+	}
+	name, err := cl.PolicyName()
+	if err != nil || name != "least-loaded" {
+		t.Errorf("PolicyName = %q, %v", name, err)
+	}
+	// Empty candidate list is an error.
+	if _, err := cl.PickHost(nil); err == nil {
+		t.Error("empty PickHost succeeded")
+	}
+}

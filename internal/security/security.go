@@ -1,0 +1,204 @@
+// Package security implements the hooks of the Legion security model
+// (§2.4): the object-mandatory MayI() and Iam() member functions, the
+// (Responsible Agent, Security Agent, Calling Agent) environment triple
+// that every method invocation is performed in, and a set of pluggable
+// policies. Per the paper, Legion "does not attempt to guarantee
+// security"; it provides mechanism — every dispatch consults the
+// object's MayI, and objects choose the policy they enforce
+// ("security is built into the object by its implementor").
+package security
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/loid"
+	"repro/internal/wire"
+)
+
+// ErrDenied is the base error for MayI refusals; errors returned by
+// policies are wrapped with denial context by the dispatcher.
+type DeniedError struct {
+	Method string
+	Caller loid.LOID
+	Reason string
+}
+
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("security: %s denied to %v: %s", e.Method, e.Caller, e.Reason)
+}
+
+// Policy is the decision procedure behind an object's MayI member
+// function. A nil error allows the invocation.
+type Policy interface {
+	// MayI decides whether the invocation described by env may invoke
+	// method on the protected object.
+	MayI(env wire.Env, method string) error
+	// Name identifies the policy for diagnostics.
+	Name() string
+}
+
+// AllowAll is the paper's default: "These functions may default to
+// empty for the case of no security."
+type AllowAll struct{}
+
+func (AllowAll) MayI(wire.Env, string) error { return nil }
+func (AllowAll) Name() string                { return "allow-all" }
+
+// DenyAll refuses everything; useful as the default of restrictive
+// compositions.
+type DenyAll struct{ Reason string }
+
+func (d DenyAll) MayI(env wire.Env, method string) error {
+	reason := d.Reason
+	if reason == "" {
+		reason = "deny-all policy"
+	}
+	return &DeniedError{Method: method, Caller: env.Calling, Reason: reason}
+}
+func (DenyAll) Name() string { return "deny-all" }
+
+// ACL allows invocations by calling-agent identity. Methods not listed
+// for a caller fall through to Default (nil Default = deny).
+type ACL struct {
+	mu sync.RWMutex
+	// rules maps caller identity (LOID.ID()) to the set of permitted
+	// methods; the wildcard method "*" permits everything.
+	rules   map[loid.LOID]map[string]bool
+	Default Policy
+}
+
+// NewACL builds an empty ACL with the given fallback policy (nil =
+// deny).
+func NewACL(fallback Policy) *ACL {
+	return &ACL{rules: make(map[loid.LOID]map[string]bool), Default: fallback}
+}
+
+// Allow grants caller the given methods; "*" grants all methods.
+func (a *ACL) Allow(caller loid.LOID, methods ...string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set, ok := a.rules[caller.ID()]
+	if !ok {
+		set = make(map[string]bool)
+		a.rules[caller.ID()] = set
+	}
+	for _, m := range methods {
+		set[m] = true
+	}
+}
+
+// Revoke removes all grants for caller.
+func (a *ACL) Revoke(caller loid.LOID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.rules, caller.ID())
+}
+
+func (a *ACL) MayI(env wire.Env, method string) error {
+	a.mu.RLock()
+	set, ok := a.rules[env.Calling.ID()]
+	allowed := ok && (set[method] || set["*"])
+	a.mu.RUnlock()
+	if allowed {
+		return nil
+	}
+	if a.Default != nil {
+		return a.Default.MayI(env, method)
+	}
+	return &DeniedError{Method: method, Caller: env.Calling, Reason: "no ACL grant"}
+}
+
+func (a *ACL) Name() string { return "acl" }
+
+// KeyedACL is an ACL that additionally demands the caller present the
+// exact public key registered for its LOID: a caller that knows another
+// object's name but not its key is refused. It models the paper's use
+// of the LOID public-key field "for security purposes" (§3.2).
+type KeyedACL struct {
+	mu   sync.RWMutex
+	keys map[loid.LOID]loid.Key // identity -> required key
+	acl  *ACL
+}
+
+// NewKeyedACL builds an empty KeyedACL (deny by default).
+func NewKeyedACL() *KeyedACL {
+	return &KeyedACL{keys: make(map[loid.LOID]loid.Key), acl: NewACL(nil)}
+}
+
+// Allow grants the caller (whose full LOID carries its key) the given
+// methods.
+func (k *KeyedACL) Allow(caller loid.LOID, methods ...string) {
+	k.mu.Lock()
+	k.keys[caller.ID()] = caller.Key
+	k.mu.Unlock()
+	k.acl.Allow(caller, methods...)
+}
+
+func (k *KeyedACL) MayI(env wire.Env, method string) error {
+	k.mu.RLock()
+	want, ok := k.keys[env.Calling.ID()]
+	k.mu.RUnlock()
+	if !ok {
+		return &DeniedError{Method: method, Caller: env.Calling, Reason: "unknown caller"}
+	}
+	if env.Calling.Key != want {
+		return &DeniedError{Method: method, Caller: env.Calling, Reason: "public key mismatch"}
+	}
+	return k.acl.MayI(env, method)
+}
+
+func (k *KeyedACL) Name() string { return "keyed-acl" }
+
+// MethodFilter allows only a fixed set of methods regardless of caller;
+// the rest are delegated to Next (nil = deny). Host Objects use it to
+// ensure "member functions will be invoked only by [their] Magistrate"
+// when combined with an ACL (§3.9).
+type MethodFilter struct {
+	Allowed map[string]bool
+	Next    Policy
+}
+
+func (m MethodFilter) MayI(env wire.Env, method string) error {
+	if m.Allowed[method] {
+		return nil
+	}
+	if m.Next != nil {
+		return m.Next.MayI(env, method)
+	}
+	return &DeniedError{Method: method, Caller: env.Calling, Reason: "method not exported"}
+}
+
+func (MethodFilter) Name() string { return "method-filter" }
+
+// Identity is the answer to the object-mandatory Iam() member function:
+// the object asserts its name (carrying its public key).
+type Identity struct {
+	LOID loid.LOID
+}
+
+// Encode renders the Iam() reply argument.
+func (id Identity) Encode() []byte { return wire.LOID(id.LOID) }
+
+// DecodeIdentity parses an Iam() reply argument.
+func DecodeIdentity(b []byte) (Identity, error) {
+	l, err := wire.AsLOID(b)
+	if err != nil {
+		return Identity{}, err
+	}
+	return Identity{LOID: l}, nil
+}
+
+// Env builds an invocation environment triple. By default the calling
+// object acts as its own Responsible and Security Agent; callers
+// delegating those roles set the fields explicitly (§2.4: "user-defined
+// objects play two security related roles").
+func Env(calling loid.LOID) wire.Env {
+	return wire.Env{Responsible: calling, Security: calling, Calling: calling}
+}
+
+// EnvWith builds an environment with explicit responsible and security
+// agents.
+func EnvWith(responsible, securityAgent, calling loid.LOID) wire.Env {
+	return wire.Env{Responsible: responsible, Security: securityAgent, Calling: calling}
+}

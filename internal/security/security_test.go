@@ -1,0 +1,157 @@
+package security
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loid"
+	"repro/internal/wire"
+)
+
+var (
+	alice = loid.New(300, 1, loid.DeriveKey("alice"))
+	bob   = loid.New(300, 2, loid.DeriveKey("bob"))
+)
+
+func TestAllowAll(t *testing.T) {
+	if err := (AllowAll{}).MayI(Env(alice), "anything"); err != nil {
+		t.Errorf("AllowAll denied: %v", err)
+	}
+}
+
+func TestDenyAll(t *testing.T) {
+	err := (DenyAll{}).MayI(Env(alice), "m")
+	if err == nil {
+		t.Fatal("DenyAll allowed")
+	}
+	var de *DeniedError
+	if !asDenied(err, &de) {
+		t.Fatalf("error type: %T", err)
+	}
+	if de.Method != "m" || !de.Caller.SameObject(alice) {
+		t.Errorf("denial detail: %+v", de)
+	}
+	err = (DenyAll{Reason: "custom"}).MayI(Env(alice), "m")
+	if !strings.Contains(err.Error(), "custom") {
+		t.Errorf("reason lost: %v", err)
+	}
+}
+
+func asDenied(err error, out **DeniedError) bool {
+	de, ok := err.(*DeniedError)
+	if ok {
+		*out = de
+	}
+	return ok
+}
+
+func TestACLGrants(t *testing.T) {
+	a := NewACL(nil)
+	a.Allow(alice, "read", "write")
+	if err := a.MayI(Env(alice), "read"); err != nil {
+		t.Errorf("granted method denied: %v", err)
+	}
+	if err := a.MayI(Env(alice), "delete"); err == nil {
+		t.Error("ungranted method allowed")
+	}
+	if err := a.MayI(Env(bob), "read"); err == nil {
+		t.Error("unknown caller allowed")
+	}
+}
+
+func TestACLWildcard(t *testing.T) {
+	a := NewACL(nil)
+	a.Allow(alice, "*")
+	if err := a.MayI(Env(alice), "whatever"); err != nil {
+		t.Errorf("wildcard denied: %v", err)
+	}
+}
+
+func TestACLDefaultFallback(t *testing.T) {
+	a := NewACL(AllowAll{})
+	if err := a.MayI(Env(bob), "m"); err != nil {
+		t.Errorf("fallback not consulted: %v", err)
+	}
+}
+
+func TestACLRevoke(t *testing.T) {
+	a := NewACL(nil)
+	a.Allow(alice, "m")
+	a.Revoke(alice)
+	if err := a.MayI(Env(alice), "m"); err == nil {
+		t.Error("revoked caller allowed")
+	}
+}
+
+func TestACLKeyInsensitive(t *testing.T) {
+	// Plain ACL matches identity only; key differences are ignored.
+	a := NewACL(nil)
+	a.Allow(alice, "m")
+	spoofed := loid.New(alice.ClassID, alice.ClassSpecific, loid.DeriveKey("mallory"))
+	if err := a.MayI(Env(spoofed), "m"); err != nil {
+		t.Errorf("plain ACL should be key-insensitive: %v", err)
+	}
+}
+
+func TestKeyedACL(t *testing.T) {
+	k := NewKeyedACL()
+	k.Allow(alice, "read")
+	if err := k.MayI(Env(alice), "read"); err != nil {
+		t.Errorf("keyed caller denied: %v", err)
+	}
+	spoofed := loid.New(alice.ClassID, alice.ClassSpecific, loid.DeriveKey("mallory"))
+	if err := k.MayI(Env(spoofed), "read"); err == nil {
+		t.Error("key mismatch allowed")
+	}
+	if err := k.MayI(Env(bob), "read"); err == nil {
+		t.Error("unknown caller allowed")
+	}
+	if err := k.MayI(Env(alice), "write"); err == nil {
+		t.Error("ungranted method allowed")
+	}
+}
+
+func TestMethodFilter(t *testing.T) {
+	f := MethodFilter{Allowed: map[string]bool{"Ping": true}}
+	if err := f.MayI(Env(bob), "Ping"); err != nil {
+		t.Errorf("allowed method denied: %v", err)
+	}
+	if err := f.MayI(Env(bob), "Shutdown"); err == nil {
+		t.Error("filtered method allowed")
+	}
+	g := MethodFilter{Allowed: map[string]bool{"Ping": true}, Next: AllowAll{}}
+	if err := g.MayI(Env(bob), "Shutdown"); err != nil {
+		t.Errorf("Next not consulted: %v", err)
+	}
+}
+
+func TestIdentityRoundTrip(t *testing.T) {
+	id := Identity{LOID: alice}
+	got, err := DecodeIdentity(id.Encode())
+	if err != nil || got.LOID != alice {
+		t.Errorf("identity round trip: %v %v", got, err)
+	}
+	if _, err := DecodeIdentity([]byte{1, 2}); err == nil {
+		t.Error("short identity accepted")
+	}
+}
+
+func TestEnvHelpers(t *testing.T) {
+	e := Env(alice)
+	if e.Calling != alice || e.Responsible != alice || e.Security != alice {
+		t.Errorf("Env = %+v", e)
+	}
+	e2 := EnvWith(bob, alice, bob)
+	want := wire.Env{Responsible: bob, Security: alice, Calling: bob}
+	if e2 != want {
+		t.Errorf("EnvWith = %+v", e2)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{AllowAll{}, DenyAll{}, NewACL(nil), NewKeyedACL(), MethodFilter{}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim builds whole Legion deployments and drives workloads
+// over them, collecting the per-component request counts that §5's
+// scalability claims are about. It is the measurement substrate for
+// every experiment in EXPERIMENTS.md: the paper has no testbed
+// numbers, so the simulator provides the controlled environment in
+// which the paper's mechanisms (caching, the Binding Agent tree, class
+// cloning, stale-binding recovery) can be demonstrated quantitatively.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/class"
+	"repro/internal/core"
+	"repro/internal/idl"
+	"repro/internal/implreg"
+	"repro/internal/loid"
+	"repro/internal/metrics"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// WorkerImplName is the instance implementation the simulator deploys:
+// a small stateful object answering Work() and carrying a padded state
+// blob so lifecycle experiments can scale state size.
+const WorkerImplName = "sim.worker"
+
+// NewWorkerImpl is the implreg factory for WorkerImplName.
+func NewWorkerImpl() rt.Impl {
+	var (
+		mu    sync.Mutex
+		calls uint64
+		pad   []byte
+	)
+	return &rt.Behavior{
+		Iface: WorkerInterface(),
+		Handlers: map[string]rt.Handler{
+			"Work": func(inv *rt.Invocation) ([][]byte, error) {
+				mu.Lock()
+				calls++
+				n := calls
+				mu.Unlock()
+				return [][]byte{wire.Uint64(n)}, nil
+			},
+			"Pad": func(inv *rt.Invocation) ([][]byte, error) {
+				raw, err := inv.Arg(0)
+				if err != nil {
+					return nil, err
+				}
+				sz, err := wire.AsUint64(raw)
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				pad = make([]byte, sz)
+				mu.Unlock()
+				return nil, nil
+			},
+		},
+		Save: func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			out := wire.Uint64(calls)
+			return append(out, pad...), nil
+		},
+		Restore: func(s []byte) error {
+			if len(s) == 0 {
+				return nil
+			}
+			if len(s) < 8 {
+				return fmt.Errorf("sim.worker: short state")
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			var err error
+			calls, err = wire.AsUint64(s[:8])
+			pad = append([]byte(nil), s[8:]...)
+			return err
+		},
+	}
+}
+
+// WorkerInterface describes the worker instances.
+func WorkerInterface() *idl.Interface {
+	return idl.NewInterface("SimWorker",
+		idl.MethodSig{Name: "Work", Returns: []idl.Param{{Name: "calls", Type: idl.TUint64}}},
+		idl.MethodSig{Name: "Pad", Params: []idl.Param{{Name: "size", Type: idl.TUint64}}},
+	)
+}
+
+// Config sizes a simulated deployment.
+type Config struct {
+	Jurisdictions        int
+	HostsPerJurisdiction int
+	LeafAgents           int
+	AgentFanout          int
+	AgentCacheSize       int
+	Classes              int
+	ObjectsPerClass      int
+	Clients              int
+	ClientCacheSize      int
+	CallTimeout          time.Duration
+	BindingTTL           time.Duration
+	Seed                 int64
+}
+
+func (c *Config) fill() {
+	if c.Jurisdictions <= 0 {
+		c.Jurisdictions = 1
+	}
+	if c.HostsPerJurisdiction <= 0 {
+		c.HostsPerJurisdiction = 1
+	}
+	if c.LeafAgents <= 0 {
+		c.LeafAgents = 1
+	}
+	if c.Classes <= 0 {
+		c.Classes = 1
+	}
+	if c.ObjectsPerClass <= 0 {
+		c.ObjectsPerClass = 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Sim is a built deployment plus its population.
+type Sim struct {
+	Config  Config
+	Sys     *core.System
+	Reg     *metrics.Registry
+	Classes []*class.Client
+	// Objects holds every created instance, grouped by class.
+	Objects [][]loid.LOID
+	// Flat is every object in one slice.
+	Flat    []loid.LOID
+	Clients []*rt.Caller
+
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// Build boots a system per cfg and populates classes, objects, and
+// clients.
+func Build(cfg Config) (*Sim, error) {
+	cfg.fill()
+	impls := implreg.NewRegistry()
+	impls.MustRegister(WorkerImplName, NewWorkerImpl)
+	reg := metrics.NewRegistry()
+	sys, err := core.Boot(core.Options{
+		Registry:             reg,
+		Impls:                impls,
+		Jurisdictions:        cfg.Jurisdictions,
+		HostsPerJurisdiction: cfg.HostsPerJurisdiction,
+		LeafAgents:           cfg.LeafAgents,
+		AgentFanout:          cfg.AgentFanout,
+		AgentCacheSize:       cfg.AgentCacheSize,
+		ClientCacheSize:      cfg.ClientCacheSize,
+		BindingTTL:           cfg.BindingTTL,
+		CallTimeout:          cfg.CallTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{Config: cfg, Sys: sys, Reg: reg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	var allMags []loid.LOID
+	for _, j := range sys.Jurisdictions {
+		allMags = append(allMags, j.Magistrate)
+	}
+	for c := 0; c < cfg.Classes; c++ {
+		name := fmt.Sprintf("Worker%d", c)
+		cl, _, err := sys.DeriveClass(name, WorkerImplName, WorkerInterface(), 0)
+		if err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("sim: derive %s: %w", name, err)
+		}
+		if err := cl.SetDefaultMagistrates(allMags); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		s.Classes = append(s.Classes, cl)
+		var objs []loid.LOID
+		for o := 0; o < cfg.ObjectsPerClass; o++ {
+			l, _, err := cl.Create(nil, loid.Nil, loid.Nil)
+			if err != nil {
+				sys.Close()
+				return nil, fmt.Errorf("sim: create object %d of %s: %w", o, name, err)
+			}
+			objs = append(objs, l)
+			s.Flat = append(s.Flat, l)
+		}
+		s.Objects = append(s.Objects, objs)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		cli, err := sys.NewClient(loid.New(300, uint64(i+1), loid.DeriveKey(fmt.Sprintf("client/%d", i))))
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		s.Clients = append(s.Clients, cli)
+	}
+	return s, nil
+}
+
+// Close tears the deployment down.
+func (s *Sim) Close() {
+	s.Sys.Close()
+}
+
+// ResetMetrics zeroes all counters and every client cache's stats —
+// called between warm-up and measurement phases.
+func (s *Sim) ResetMetrics() {
+	s.Reg.Reset()
+	for _, c := range s.Clients {
+		c.Cache().ResetStats()
+	}
+}
+
+// Intn is the sim's seeded randomness.
+func (s *Sim) Intn(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Intn(n)
+}
+
+// Float64 is the sim's seeded uniform variate.
+func (s *Sim) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}

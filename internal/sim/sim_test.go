@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func smallSim(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestBuildPopulation(t *testing.T) {
+	s := smallSim(t, Config{
+		Jurisdictions: 2, HostsPerJurisdiction: 2,
+		Classes: 2, ObjectsPerClass: 3, Clients: 2,
+	})
+	if len(s.Classes) != 2 || len(s.Flat) != 6 || len(s.Clients) != 2 {
+		t.Fatalf("population: %d classes, %d objects, %d clients",
+			len(s.Classes), len(s.Flat), len(s.Clients))
+	}
+}
+
+func TestRunLookupsSequential(t *testing.T) {
+	s := smallSim(t, Config{Classes: 1, ObjectsPerClass: 4, Clients: 2})
+	res, err := s.RunLookups(LookupWorkload{References: 40, Locality: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Errorf("failures = %d", res.Failures)
+	}
+	if res.References < 40 {
+		t.Errorf("references = %d", res.References)
+	}
+	if res.ClientHitRate <= 0 {
+		t.Errorf("hit rate = %v", res.ClientHitRate)
+	}
+	if res.MeanLatency <= 0 {
+		t.Error("latency not measured")
+	}
+}
+
+func TestRunLookupsConcurrent(t *testing.T) {
+	s := smallSim(t, Config{Classes: 1, ObjectsPerClass: 4, Clients: 4})
+	res, err := s.RunLookups(LookupWorkload{References: 80, Locality: 0.5, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Errorf("failures = %d", res.Failures)
+	}
+}
+
+func TestCacheSizeAffectsAgentTraffic(t *testing.T) {
+	// E2's mechanism in miniature: tiny client caches push misses to
+	// the agents; large caches absorb them.
+	run := func(cacheSize int) LookupResult {
+		s := smallSim(t, Config{
+			Classes: 1, ObjectsPerClass: 16, Clients: 2,
+			ClientCacheSize: cacheSize,
+		})
+		// Warm up, then measure.
+		s.RunLookups(LookupWorkload{References: 64, Locality: 0})
+		s.ResetMetrics()
+		res, err := s.RunLookups(LookupWorkload{References: 64, Locality: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := run(2)
+	large := run(64)
+	if small.AgentRequests <= large.AgentRequests {
+		t.Errorf("agent traffic: small-cache=%d large-cache=%d, want small > large",
+			small.AgentRequests, large.AgentRequests)
+	}
+	if large.ClientHitRate <= small.ClientHitRate {
+		t.Errorf("hit rates: small=%v large=%v", small.ClientHitRate, large.ClientHitRate)
+	}
+}
+
+func TestRunChurn(t *testing.T) {
+	s := smallSim(t, Config{Classes: 1, ObjectsPerClass: 1, Clients: 1})
+	res, err := s.RunChurn(0, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Creates != 5 || res.Deletes != 5 || res.Failures != 0 {
+		t.Errorf("churn = %+v", res)
+	}
+	if res.CreatesPerSec <= 0 {
+		t.Error("throughput not measured")
+	}
+	if _, err := s.RunChurn(9, 1, false); err == nil {
+		t.Error("bad class index accepted")
+	}
+}
+
+func TestMigrateRandomDeactivate(t *testing.T) {
+	s := smallSim(t, Config{Classes: 1, ObjectsPerClass: 2, Clients: 1})
+	target, err := s.MigrateRandom("deactivate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The object heals on next use.
+	cli := s.Clients[0]
+	res, err := cli.Call(target, "Work")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("call after deactivate: %v %v", res, err)
+	}
+}
+
+func TestMigrateRandomMove(t *testing.T) {
+	s := smallSim(t, Config{Jurisdictions: 2, Classes: 1, ObjectsPerClass: 2, Clients: 1})
+	target, err := s.MigrateRandom("move")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Clients[0].Call(target, "Work")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("call after move: %v %v", res, err)
+	}
+	if _, err := s.MigrateRandom("teleport"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	s := smallSim(t, Config{Classes: 1, ObjectsPerClass: 2, Clients: 1})
+	s.RunLookups(LookupWorkload{References: 4, Locality: 1})
+	s.ResetMetrics()
+	if v := s.Reg.SumCounters("req/"); v != 0 {
+		t.Errorf("counters after reset = %d", v)
+	}
+	if hr := s.Clients[0].Cache().Stats(); hr.Hits != 0 {
+		t.Errorf("client stats after reset = %+v", hr)
+	}
+}
+
+func TestWorkerStatePersistsThroughLifecycle(t *testing.T) {
+	s := smallSim(t, Config{Classes: 1, ObjectsPerClass: 1, Clients: 1})
+	obj := s.Flat[0]
+	cli := s.Clients[0]
+	for i := 0; i < 3; i++ {
+		cli.Call(obj, "Work")
+	}
+	if _, err := s.MigrateRandom("deactivate"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.Call(obj, "Work")
+	if err != nil || res.Code != wire.OK {
+		t.Fatal(err)
+	}
+	raw, _ := res.Result(0)
+	if v, _ := wire.AsUint64(raw); v != 4 {
+		t.Errorf("worker calls = %d, want 4 (state survived)", v)
+	}
+}
+
+func TestLookupTimeoutConfig(t *testing.T) {
+	s := smallSim(t, Config{Classes: 1, ObjectsPerClass: 1, Clients: 1, CallTimeout: 3 * time.Second})
+	if s.Clients[0].Timeout != 3*time.Second {
+		t.Errorf("client timeout = %v", s.Clients[0].Timeout)
+	}
+}

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/oa"
+)
+
+// Fabric is the in-process simulated network. Endpoints are named by
+// TypeMem elements carrying a fabric-unique id. The fabric can inject
+// per-link latency, probabilistic loss, and partitions, and counts
+// per-endpoint traffic so experiments can attribute load.
+type Fabric struct {
+	mu        sync.Mutex
+	nextID    uint64
+	endpoints map[uint64]*memEndpoint
+	blocked   map[[2]uint64]bool // unordered pair, stored with lo first
+	latency   time.Duration
+	lossProb  float64
+	rng       *rand.Rand
+	reg       *metrics.Registry
+	closed    bool
+}
+
+// NewFabric builds an empty fabric. Metrics are recorded into reg;
+// pass metrics.Nop to discard them.
+func NewFabric(reg *metrics.Registry) *Fabric {
+	if reg == nil {
+		reg = metrics.Nop
+	}
+	return &Fabric{
+		endpoints: make(map[uint64]*memEndpoint),
+		blocked:   make(map[[2]uint64]bool),
+		rng:       rand.New(rand.NewSource(1)),
+		reg:       reg,
+	}
+}
+
+// SetLatency sets a uniform one-way delivery delay for all links.
+// Zero (the default) delivers synchronously on the sender's goroutine
+// handoff, which is what throughput benchmarks want.
+func (f *Fabric) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// SetLoss sets a probability in [0,1] that any message is silently
+// dropped, and the seed that drives the loss process.
+func (f *Fabric) SetLoss(p float64, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lossProb = p
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// Block partitions the pair (a,b) in both directions.
+func (f *Fabric) Block(a, b uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked[pairKey(a, b)] = true
+}
+
+// Unblock heals the partition between a and b.
+func (f *Fabric) Unblock(a, b uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.blocked, pairKey(a, b))
+}
+
+func pairKey(a, b uint64) [2]uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint64{a, b}
+}
+
+// NewEndpoint allocates an endpoint with the next fabric id.
+func (f *Fabric) NewEndpoint() (Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	f.nextID++
+	ep := &memEndpoint{
+		fabric: f,
+		id:     f.nextID,
+		queue:  make(chan []byte, 1024),
+		done:   make(chan struct{}),
+	}
+	f.endpoints[ep.id] = ep
+	go ep.pump()
+	return ep, nil
+}
+
+// SendFrom delivers data to the endpoint named by to, applying loss,
+// latency, and the partition state between from and the destination.
+// from may be 0 for "source unknown" (partition checks are skipped).
+func (f *Fabric) SendFrom(from uint64, to oa.Element, data []byte) error {
+	id, ok := oa.MemID(to)
+	if !ok {
+		return ErrUnreachable
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	ep, ok := f.endpoints[id]
+	if !ok {
+		f.mu.Unlock()
+		return ErrUnreachable
+	}
+	if from != 0 && f.blocked[pairKey(from, id)] {
+		f.mu.Unlock()
+		return ErrUnreachable
+	}
+	drop := f.lossProb > 0 && f.rng.Float64() < f.lossProb
+	latency := f.latency
+	f.mu.Unlock()
+
+	f.reg.Counter("net/sent").Inc()
+	if drop {
+		f.reg.Counter("net/dropped").Inc()
+		return nil // silent loss, like the real network
+	}
+	// Copy so the sender may reuse its buffer.
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	deliver := func() {
+		select {
+		case ep.queue <- msg:
+		case <-ep.done:
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, deliver)
+	} else {
+		deliver()
+	}
+	return nil
+}
+
+// Close tears down the whole fabric.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	eps := make([]*memEndpoint, 0, len(f.endpoints))
+	for _, ep := range f.endpoints {
+		eps = append(eps, ep)
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+// Endpoints returns the number of live endpoints.
+func (f *Fabric) Endpoints() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.endpoints)
+}
+
+type memEndpoint struct {
+	fabric *Fabric
+	id     uint64
+
+	mu      sync.Mutex
+	handler Handler
+
+	queue chan []byte
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (e *memEndpoint) Element() oa.Element { return oa.MemElement(e.id) }
+
+func (e *memEndpoint) Send(to oa.Element, data []byte) error {
+	return e.fabric.SendFrom(e.id, to, data)
+}
+
+func (e *memEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *memEndpoint) pump() {
+	for {
+		select {
+		case msg := <-e.queue:
+			e.mu.Lock()
+			h := e.handler
+			e.mu.Unlock()
+			if h != nil {
+				h(msg)
+			}
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.once.Do(func() {
+		close(e.done)
+		f := e.fabric
+		f.mu.Lock()
+		delete(f.endpoints, e.id)
+		f.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/oa"
+)
+
+// maxFrame bounds one TCP frame (matches the wire package's argument
+// limits with headroom).
+const maxFrame = 32 << 20
+
+// TCP is a Transport over real TCP sockets, for multi-process Legion
+// deployments. Each endpoint owns one listener; messages are
+// length-prefixed frames. Outbound connections are cached per
+// destination and redialed on failure.
+type TCP struct {
+	// ListenHost is the host/IP to bind listeners on. Defaults to
+	// 127.0.0.1, which keeps tests and examples self-contained.
+	ListenHost string
+}
+
+// NewEndpoint starts a listener on an ephemeral port.
+func (t *TCP) NewEndpoint() (Endpoint, error) {
+	host := t.ListenHost
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	addr := ln.Addr().(*net.TCPAddr)
+	elem, err := oa.IPElement(addr.IP, uint16(addr.Port), 0)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	ep := &tcpEndpoint{
+		ln:    ln,
+		elem:  elem,
+		conns: make(map[string]*tcpConn),
+		done:  make(chan struct{}),
+	}
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+type tcpEndpoint struct {
+	ln   net.Listener
+	elem oa.Element
+
+	hmu     sync.Mutex
+	handler Handler
+
+	cmu   sync.Mutex
+	conns map[string]*tcpConn
+
+	done   chan struct{}
+	once   sync.Once
+	closed bool
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (e *tcpEndpoint) Element() oa.Element { return e.elem }
+
+func (e *tcpEndpoint) SetHandler(h Handler) {
+	e.hmu.Lock()
+	defer e.hmu.Unlock()
+	e.handler = h
+}
+
+func (e *tcpEndpoint) handle(data []byte) {
+	e.hmu.Lock()
+	h := e.handler
+	e.hmu.Unlock()
+	if h != nil {
+		h(data)
+	}
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			continue
+		}
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		e.handle(frame)
+	}
+}
+
+// Send frames data and writes it on a cached connection to the
+// destination, dialing (or redialing once) as needed.
+func (e *tcpEndpoint) Send(to oa.Element, data []byte) error {
+	hostport, ok := oa.IPHostPort(to)
+	if !ok {
+		return ErrUnreachable
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(data))
+	}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+
+	tc := e.connFor(hostport)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	// Try the cached connection first; on any failure, redial once.
+	if tc.conn != nil {
+		if _, err := tc.conn.Write(frame); err == nil {
+			return nil
+		}
+		tc.conn.Close()
+		tc.conn = nil
+	}
+	conn, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		conn.Close()
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	tc.conn = conn
+	return nil
+}
+
+func (e *tcpEndpoint) connFor(hostport string) *tcpConn {
+	e.cmu.Lock()
+	defer e.cmu.Unlock()
+	tc, ok := e.conns[hostport]
+	if !ok {
+		tc = &tcpConn{}
+		e.conns[hostport] = tc
+	}
+	return tc
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.once.Do(func() {
+		close(e.done)
+		e.ln.Close()
+		e.cmu.Lock()
+		for _, tc := range e.conns {
+			tc.mu.Lock()
+			if tc.conn != nil {
+				tc.conn.Close()
+				tc.conn = nil
+			}
+			tc.mu.Unlock()
+		}
+		e.cmu.Unlock()
+	})
+	return nil
+}

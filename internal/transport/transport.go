@@ -1,0 +1,55 @@
+// Package transport provides the communication facilities Legion
+// builds on (§3.3): delivery of encoded messages between endpoints
+// named by Object Address Elements. Two implementations are provided:
+//
+//   - Fabric: an in-process simulated network with configurable
+//     latency, message loss, and link partitions, plus per-link
+//     counters. It is the substrate for the scalability experiments —
+//     the paper's wide-area testbed substituted per DESIGN.md.
+//   - TCP: a real TCP transport for multi-process deployments.
+//
+// Transports move opaque byte strings; framing, retries, and stale
+// address handling live in the layers above (internal/rt).
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/oa"
+)
+
+// ErrUnreachable reports that the destination endpoint does not exist,
+// is closed, or is partitioned away. The communication layer maps it to
+// wire.ErrUnavailable and treats the binding as suspect.
+var ErrUnreachable = errors.New("transport: endpoint unreachable")
+
+// ErrClosed reports use of a closed endpoint or transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Handler consumes one received message. Handlers are called
+// sequentially per endpoint; implementations hand off to mailboxes and
+// return quickly.
+type Handler func(data []byte)
+
+// Endpoint is a send/receive port with a transport-level address.
+type Endpoint interface {
+	// Element is the Object Address Element other endpoints use to
+	// reach this one.
+	Element() oa.Element
+	// SetHandler installs the message consumer. It must be called
+	// before any message is sent to the endpoint.
+	SetHandler(Handler)
+	// Send delivers data to the endpoint named by to. Delivery is
+	// asynchronous and unordered with respect to other sends; an error
+	// is returned only for local or addressing failures — silent loss
+	// in transit is possible, as on a real network.
+	Send(to oa.Element, data []byte) error
+	// Close tears the endpoint down; subsequent sends to it fail with
+	// ErrUnreachable.
+	Close() error
+}
+
+// Transport creates endpoints.
+type Transport interface {
+	NewEndpoint() (Endpoint, error)
+}

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/loid"
+	"repro/internal/oa"
+)
+
+// This file provides the typed argument codec used by method
+// implementations. Arguments travel as opaque byte strings ([][]byte in
+// Message.Args); these helpers give method signatures a compact,
+// self-consistent encoding for the types the core objects exchange:
+// strings, integers, booleans, LOIDs, Object Addresses, and bindings.
+
+// String encodes a string argument.
+func String(s string) []byte { return []byte(s) }
+
+// AsString decodes a string argument.
+func AsString(b []byte) string { return string(b) }
+
+// Uint64 encodes an unsigned integer argument.
+func Uint64(v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return buf[:]
+}
+
+// AsUint64 decodes an unsigned integer argument.
+func AsUint64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("wire: uint64 argument has %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Int64 encodes a signed integer argument.
+func Int64(v int64) []byte { return Uint64(uint64(v)) }
+
+// AsInt64 decodes a signed integer argument.
+func AsInt64(b []byte) (int64, error) {
+	u, err := AsUint64(b)
+	return int64(u), err
+}
+
+// Bool encodes a boolean argument.
+func Bool(v bool) []byte {
+	if v {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// AsBool decodes a boolean argument.
+func AsBool(b []byte) (bool, error) {
+	if len(b) != 1 || b[0] > 1 {
+		return false, fmt.Errorf("wire: bad bool argument %v", b)
+	}
+	return b[0] == 1, nil
+}
+
+// LOID encodes a LOID argument.
+func LOID(l loid.LOID) []byte { return l.Marshal(nil) }
+
+// AsLOID decodes a LOID argument.
+func AsLOID(b []byte) (loid.LOID, error) {
+	l, rest, err := loid.Unmarshal(b)
+	if err != nil {
+		return loid.Nil, err
+	}
+	if len(rest) != 0 {
+		return loid.Nil, fmt.Errorf("wire: %d trailing bytes after LOID", len(rest))
+	}
+	return l, nil
+}
+
+// Address encodes an Object Address argument.
+func Address(a oa.Address) []byte { return a.Marshal(nil) }
+
+// AsAddress decodes an Object Address argument.
+func AsAddress(b []byte) (oa.Address, error) {
+	a, rest, err := oa.Unmarshal(b)
+	if err != nil {
+		return oa.Address{}, err
+	}
+	if len(rest) != 0 {
+		return oa.Address{}, fmt.Errorf("wire: %d trailing bytes after address", len(rest))
+	}
+	return a, nil
+}
+
+// Binding encodes a binding argument.
+func Binding(b binding.Binding) []byte { return b.Marshal(nil) }
+
+// AsBinding decodes a binding argument.
+func AsBinding(b []byte) (binding.Binding, error) {
+	bd, rest, err := binding.Unmarshal(b)
+	if err != nil {
+		return binding.Binding{}, err
+	}
+	if len(rest) != 0 {
+		return binding.Binding{}, fmt.Errorf("wire: %d trailing bytes after binding", len(rest))
+	}
+	return bd, nil
+}
+
+// Time encodes a time argument as Unix nanoseconds (zero time → 0).
+func Time(t time.Time) []byte {
+	if t.IsZero() {
+		return Uint64(0)
+	}
+	return Int64(t.UnixNano())
+}
+
+// AsTime decodes a time argument.
+func AsTime(b []byte) (time.Time, error) {
+	ns, err := AsInt64(b)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if ns == 0 {
+		return time.Time{}, nil
+	}
+	return time.Unix(0, ns), nil
+}
+
+// Bytes passes a raw byte string through unchanged; it exists for call
+// sites to state intent.
+func Bytes(b []byte) []byte { return b }
+
+// LOIDList encodes a list of LOIDs.
+func LOIDList(ls []loid.LOID) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(ls)))
+	for _, l := range ls {
+		out = l.Marshal(out)
+	}
+	return out
+}
+
+// AsLOIDList decodes a list of LOIDs.
+func AsLOIDList(b []byte) ([]loid.LOID, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: short LOID list")
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint64(n) > uint64(len(b))/loid.EncodedSize {
+		return nil, fmt.Errorf("wire: LOID list length %d exceeds buffer", n)
+	}
+	out := make([]loid.LOID, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var l loid.LOID
+		var err error
+		l, b, err = loid.Unmarshal(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after LOID list", len(b))
+	}
+	return out, nil
+}
+
+// StringList encodes a list of strings.
+func StringList(ss []string) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(ss)))
+	for _, s := range ss {
+		out = appendString(out, s)
+	}
+	return out
+}
+
+// AsStringList decodes a list of strings.
+func AsStringList(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: short string list")
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if n > maxArgs {
+		return nil, fmt.Errorf("wire: string list length %d exceeds limit", n)
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s string
+		var err error
+		s, b, err = takeString(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after string list", len(b))
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+// Package wire defines the Legion message protocol: non-blocking method
+// invocations between address-space disjoint objects (§2). A message
+// carries the target LOID, the method name, encoded arguments, a
+// correlation id, the reply address, and the security environment
+// triple of (Responsible Agent, Security Agent, Calling Agent) in which
+// every method invocation is performed (§2.4).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/loid"
+	"repro/internal/oa"
+)
+
+// Kind distinguishes the three message shapes.
+type Kind uint8
+
+const (
+	// KindRequest asks the target to run a method and reply.
+	KindRequest Kind = 1
+	// KindReply carries the results of a request.
+	KindReply Kind = 2
+	// KindOneWay asks the target to run a method with no reply
+	// expected (the paper's methods with no return value).
+	KindOneWay Kind = 3
+)
+
+// Code classifies reply outcomes. The communication layer uses these to
+// drive retry/refresh behaviour (§4.1.4: stale addresses are detected by
+// the Legion communication layer, which then requests a refresh).
+type Code uint16
+
+const (
+	// OK: the method ran; Results are valid.
+	OK Code = 0
+	// ErrApp: the method ran and returned an application-level error.
+	ErrApp Code = 1
+	// ErrNoSuchMethod: the target exports no such member function.
+	ErrNoSuchMethod Code = 2
+	// ErrNoSuchObject: the endpoint exists but no longer hosts the
+	// target — the sender's binding is stale.
+	ErrNoSuchObject Code = 3
+	// ErrDenied: the target's MayI refused the invocation (§2.4).
+	ErrDenied Code = 4
+	// ErrUnavailable: the endpoint could not be reached at all.
+	ErrUnavailable Code = 5
+	// ErrBadRequest: the message was malformed or arguments failed to
+	// decode.
+	ErrBadRequest Code = 6
+)
+
+func (c Code) String() string {
+	switch c {
+	case OK:
+		return "ok"
+	case ErrApp:
+		return "app-error"
+	case ErrNoSuchMethod:
+		return "no-such-method"
+	case ErrNoSuchObject:
+		return "no-such-object"
+	case ErrDenied:
+		return "denied"
+	case ErrUnavailable:
+		return "unavailable"
+	case ErrBadRequest:
+		return "bad-request"
+	default:
+		return fmt.Sprintf("code%d", uint16(c))
+	}
+}
+
+// Env is the security environment triple in which a method invocation
+// is performed (§2.4): the operative Responsible Agent, Security Agent,
+// and Calling Agent.
+type Env struct {
+	Responsible loid.LOID
+	Security    loid.LOID
+	Calling     loid.LOID
+}
+
+// Message is one Legion protocol unit.
+type Message struct {
+	Kind   Kind
+	ID     uint64    // request/reply correlation id
+	Target loid.LOID // destination object
+	Method string    // member function name (requests only)
+	Env    Env
+	// ReplyTo is the Object Address of the sender's endpoint, used to
+	// route the reply (requests only).
+	ReplyTo oa.Address
+	// Args carries encoded parameters (requests) or results (replies).
+	Args [][]byte
+	// Code and ErrText describe reply outcomes.
+	Code    Code
+	ErrText string
+}
+
+const (
+	magic   = 0x4C47 // "LG"
+	version = 1
+)
+
+// maxArgs bounds the argument vector; generous but prevents a corrupt
+// length from allocating unboundedly.
+const maxArgs = 1 << 16
+
+// maxArgLen bounds one argument (16 MiB).
+const maxArgLen = 16 << 20
+
+// Marshal appends the binary encoding of m to dst.
+func (m *Message) Marshal(dst []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], magic)
+	hdr[2] = version
+	hdr[3] = byte(m.Kind)
+	dst = append(dst, hdr[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, m.ID)
+	dst = m.Target.Marshal(dst)
+	dst = appendString(dst, m.Method)
+	dst = m.Env.Responsible.Marshal(dst)
+	dst = m.Env.Security.Marshal(dst)
+	dst = m.Env.Calling.Marshal(dst)
+	dst = m.ReplyTo.Marshal(dst)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Code))
+	dst = appendString(dst, m.ErrText)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Args)))
+	for _, a := range m.Args {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(a)))
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
+// Unmarshal decodes one message from src; the whole of src must be the
+// message (transports frame messages themselves).
+func Unmarshal(src []byte) (*Message, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("wire: short header")
+	}
+	if binary.BigEndian.Uint16(src[0:2]) != magic {
+		return nil, fmt.Errorf("wire: bad magic %#x", src[0:2])
+	}
+	if src[2] != version {
+		return nil, fmt.Errorf("wire: unsupported version %d", src[2])
+	}
+	m := &Message{Kind: Kind(src[3])}
+	src = src[4:]
+	if len(src) < 8 {
+		return nil, fmt.Errorf("wire: short id")
+	}
+	m.ID = binary.BigEndian.Uint64(src[:8])
+	src = src[8:]
+	var err error
+	if m.Target, src, err = loid.Unmarshal(src); err != nil {
+		return nil, fmt.Errorf("wire: target: %w", err)
+	}
+	if m.Method, src, err = takeString(src); err != nil {
+		return nil, fmt.Errorf("wire: method: %w", err)
+	}
+	if m.Env.Responsible, src, err = loid.Unmarshal(src); err != nil {
+		return nil, fmt.Errorf("wire: env: %w", err)
+	}
+	if m.Env.Security, src, err = loid.Unmarshal(src); err != nil {
+		return nil, fmt.Errorf("wire: env: %w", err)
+	}
+	if m.Env.Calling, src, err = loid.Unmarshal(src); err != nil {
+		return nil, fmt.Errorf("wire: env: %w", err)
+	}
+	if m.ReplyTo, src, err = oa.Unmarshal(src); err != nil {
+		return nil, fmt.Errorf("wire: reply-to: %w", err)
+	}
+	if len(src) < 2 {
+		return nil, fmt.Errorf("wire: short code")
+	}
+	m.Code = Code(binary.BigEndian.Uint16(src[:2]))
+	src = src[2:]
+	if m.ErrText, src, err = takeString(src); err != nil {
+		return nil, fmt.Errorf("wire: err-text: %w", err)
+	}
+	if len(src) < 4 {
+		return nil, fmt.Errorf("wire: short arg count")
+	}
+	nargs := binary.BigEndian.Uint32(src[:4])
+	src = src[4:]
+	if nargs > maxArgs {
+		return nil, fmt.Errorf("wire: arg count %d exceeds limit", nargs)
+	}
+	if nargs > 0 {
+		m.Args = make([][]byte, 0, nargs)
+		for i := uint32(0); i < nargs; i++ {
+			if len(src) < 4 {
+				return nil, fmt.Errorf("wire: short arg %d length", i)
+			}
+			n := binary.BigEndian.Uint32(src[:4])
+			src = src[4:]
+			if n > maxArgLen {
+				return nil, fmt.Errorf("wire: arg %d length %d exceeds limit", i, n)
+			}
+			if uint32(len(src)) < n {
+				return nil, fmt.Errorf("wire: short arg %d body: have %d want %d", i, len(src), n)
+			}
+			arg := make([]byte, n)
+			copy(arg, src[:n])
+			m.Args = append(m.Args, arg)
+			src = src[n:]
+		}
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(src))
+	}
+	return m, nil
+}
+
+// ReplyTo builds the reply message for request m with the given outcome.
+func (m *Message) Reply(code Code, errText string, results [][]byte) *Message {
+	return &Message{
+		Kind:    KindReply,
+		ID:      m.ID,
+		Target:  m.Env.Calling,
+		Code:    code,
+		ErrText: errText,
+		Args:    results,
+	}
+}
+
+func (m *Message) String() string {
+	switch m.Kind {
+	case KindRequest:
+		return fmt.Sprintf("req#%d %v.%s(%d args)", m.ID, m.Target, m.Method, len(m.Args))
+	case KindOneWay:
+		return fmt.Sprintf("oneway#%d %v.%s(%d args)", m.ID, m.Target, m.Method, len(m.Args))
+	case KindReply:
+		return fmt.Sprintf("rep#%d %v %s", m.ID, m.Code, m.ErrText)
+	default:
+		return fmt.Sprintf("msg#%d kind%d", m.ID, m.Kind)
+	}
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func takeString(src []byte) (string, []byte, error) {
+	if len(src) < 4 {
+		return "", src, fmt.Errorf("short string length")
+	}
+	n := binary.BigEndian.Uint32(src[:4])
+	src = src[4:]
+	if n > maxArgLen {
+		return "", src, fmt.Errorf("string length %d exceeds limit", n)
+	}
+	if uint32(len(src)) < n {
+		return "", src, fmt.Errorf("short string body")
+	}
+	return string(src[:n]), src[n:], nil
+}
