@@ -1,0 +1,37 @@
+# Developer entry points. `make check` is the pre-commit gate: it runs
+# exactly what the repo treats as tier-1 (build + tests) plus vet, and
+# `make race` covers the packages with lock-free fast paths.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-invoke vet check experiments
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The fast-path packages (sharded binding cache, lock-slimmed rt,
+# pooled transports) are the ones worth paying the race detector for.
+race:
+	$(GO) test -race ./internal/binding ./internal/rt ./internal/transport
+
+# All microbenchmarks, with allocation counts.
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime=2s .
+
+# Just the invocation fast path (the §5.2.1 "common case" pipeline).
+bench-invoke:
+	$(GO) test -run xxx -bench 'BenchmarkParallelInvoke|BenchmarkE1BindingPath' -benchmem -benchtime=2s .
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# The EXPERIMENTS.md harness (full scale; add ARGS=-quick for a fast pass).
+experiments:
+	$(GO) run ./cmd/legion-bench $(ARGS)

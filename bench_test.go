@@ -7,6 +7,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/security"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -47,6 +50,30 @@ func mustCall(b *testing.B, c *rt.Caller, target loid.LOID, method string, args 
 		b.Fatalf("%s: %v %s", method, res.Code, res.ErrText)
 	}
 	return res
+}
+
+// mustOK is the guard for benchmark goroutines spawned by
+// b.RunParallel: b.Fatal must only be called from the benchmark
+// goroutine itself, so parallel bodies report through b.Error and
+// return false so the body can bail out.
+func mustOK(b *testing.B, res *rt.Result, err error) bool {
+	if err != nil {
+		b.Error(err)
+		return false
+	}
+	if res.Code != wire.OK {
+		b.Errorf("call failed: %v %s", res.Code, res.ErrText)
+		return false
+	}
+	return true
+}
+
+// mustNoErr is the non-parallel helper for setup errors in benchmarks.
+func mustNoErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkE1BindingPath measures one invocation with the binding
@@ -419,6 +446,62 @@ func BenchmarkE12Security(b *testing.B) {
 
 func bindingForeverB(l loid.LOID, addr oa.Address) binding.Binding {
 	return binding.Forever(l, addr)
+}
+
+// BenchmarkParallelInvoke measures end-to-end invocation throughput
+// under concurrency: GOMAXPROCS client callers sharing one client node
+// hammer a single object on one server node. It exercises the whole
+// fast path at once — binding-cache Get, caller randomness, the node's
+// pending-future table, marshal buffers, and the transport — so lock
+// contention anywhere on that path shows up as lost ops/sec. There is
+// no corresponding paper figure: this backs the qualitative scalability
+// claim of §5.2.1 that a cached binding makes an invocation as close to
+// a raw message send as possible, under load. Run with -benchmem; see
+// EXPERIMENTS.md.
+func BenchmarkParallelInvoke(b *testing.B) {
+	b.Run("mem", func(b *testing.B) {
+		f := transport.NewFabric(nil)
+		defer f.Close()
+		benchParallelInvoke(b, f)
+	})
+	b.Run("tcp", func(b *testing.B) {
+		benchParallelInvoke(b, &transport.TCP{})
+	})
+}
+
+func benchParallelInvoke(b *testing.B, tr transport.Transport) {
+	server, err := rt.NewNode(tr, nil, "bench-srv")
+	mustNoErr(b, err)
+	defer server.Close()
+	clientNode, err := rt.NewNode(tr, nil, "bench-cli")
+	mustNoErr(b, err)
+	defer clientNode.Close()
+
+	target := loid.New(700, 1, loid.DeriveKey("bench/parallel"))
+	impl := &rt.Behavior{
+		Iface: idl.NewInterface("BenchWorker", idl.MethodSig{Name: "Work"}),
+		Handlers: map[string]rt.Handler{
+			"Work": func(*rt.Invocation) ([][]byte, error) { return nil, nil },
+		},
+	}
+	_, err = server.Spawn(target, impl, rt.WithConcurrency(runtime.GOMAXPROCS(0)))
+	mustNoErr(b, err)
+	bind := binding.Forever(target, server.Address())
+
+	var callerSeq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := callerSeq.Add(1)
+		c := rt.NewCaller(clientNode, loid.New(701, id, loid.DeriveKey(fmt.Sprintf("bench/cli/%d", id))), nil)
+		c.Timeout = 10 * time.Second
+		c.AddBinding(bind)
+		for pb.Next() {
+			res, err := c.Call(target, "Work")
+			if !mustOK(b, res, err) {
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkE13Propagation measures one stale-chase round (deactivate,

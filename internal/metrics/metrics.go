@@ -121,54 +121,46 @@ func (h *Histogram) Reset() {
 
 // Registry is a named collection of counters and histograms. Component
 // names follow "component/instance" convention, e.g. "class/L256.0" or
-// "bindagent/leaf3". The zero value is not usable; call NewRegistry.
+// "bindagent/leaf3". Lookups are lock-free sync.Map reads so per-
+// message counter access never serializes hot paths (callers should
+// still intern counters they touch on every message). The zero value
+// is usable, but call NewRegistry for symmetry.
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]*Counter
-	hists  map[string]*Histogram
+	counts sync.Map // string -> *Counter
+	hists  sync.Map // string -> *Histogram
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counts: make(map[string]*Counter),
-		hists:  make(map[string]*Histogram),
-	}
+	return &Registry{}
 }
 
 // Counter returns (creating if needed) the counter with the given name.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counts[name]
-	if !ok {
-		c = &Counter{}
-		r.counts[name] = c
+	if v, ok := r.counts.Load(name); ok {
+		return v.(*Counter)
 	}
-	return c
+	v, _ := r.counts.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
 }
 
 // Histogram returns (creating if needed) the histogram with the given
 // name.
 func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		h = &Histogram{}
-		r.hists[name] = h
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
 	}
-	return h
+	v, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
 }
 
 // Counters returns a stable-ordered snapshot of all counter values.
 func (r *Registry) Counters() []NamedValue {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]NamedValue, 0, len(r.counts))
-	for name, c := range r.counts {
-		out = append(out, NamedValue{Name: name, Value: c.Value()})
-	}
+	var out []NamedValue
+	r.counts.Range(func(k, v any) bool {
+		out = append(out, NamedValue{Name: k.(string), Value: v.(*Counter).Value()})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -211,14 +203,14 @@ func (r *Registry) SumCounters(prefix string) uint64 {
 
 // Reset zeroes every metric but keeps registrations.
 func (r *Registry) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, c := range r.counts {
-		c.Reset()
-	}
-	for _, h := range r.hists {
-		h.Reset()
-	}
+	r.counts.Range(func(_, v any) bool {
+		v.(*Counter).Reset()
+		return true
+	})
+	r.hists.Range(func(_, v any) bool {
+		v.(*Histogram).Reset()
+		return true
+	})
 }
 
 // Nop is a shared registry for components that don't care about

@@ -3,8 +3,9 @@ package rt
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/binding"
@@ -29,19 +30,28 @@ type Resolver interface {
 	Refresh(stale binding.Binding) (binding.Binding, error)
 }
 
+// resolverRef boxes a Resolver so a nil resolver is representable in an
+// atomic.Pointer.
+type resolverRef struct{ r Resolver }
+
 // Caller is one object's Legion-aware communication layer (§4.1.2): it
 // caches bindings, consults its Resolver on misses, and detects and
 // repairs stale bindings (§4.1.4). A Caller may also be used
 // free-standing (not attached to a spawned object) as a client handle.
+//
+// The invocation fast path (§5.2.1: the common case must be as close to
+// a raw message send as possible) holds no Caller lock: the cache and
+// resolver live behind atomic pointers and address-selection randomness
+// comes from a lock-free splitmix64 stream, so concurrent invocations
+// through one Caller never serialize on Caller state.
 type Caller struct {
 	node *Node
 	self loid.LOID
 	env  wire.Env
 
-	mu       sync.Mutex
-	resolver Resolver
-	cache    *binding.Cache
-	rng      *rand.Rand
+	resolver atomic.Pointer[resolverRef]
+	cache    atomic.Pointer[binding.Cache]
+	rngState atomic.Uint64
 
 	// Timeout is the per-wave reply deadline (default 2s).
 	Timeout time.Duration
@@ -54,16 +64,17 @@ type Caller struct {
 // may be nil (only cached/explicitly added bindings and direct
 // addresses will work — the bootstrap objects run this way).
 func NewCaller(node *Node, self loid.LOID, resolver Resolver) *Caller {
-	return &Caller{
+	c := &Caller{
 		node:       node,
 		self:       self,
 		env:        security.Env(self),
-		resolver:   resolver,
-		cache:      binding.NewCache(DefaultBindingCacheSize),
-		rng:        rand.New(rand.NewSource(int64(self.ClassID)<<32 ^ int64(self.ClassSpecific) ^ 0x5DEECE66D)),
 		Timeout:    2 * time.Second,
 		MaxRefresh: 2,
 	}
+	c.resolver.Store(&resolverRef{r: resolver})
+	c.cache.Store(binding.NewCache(DefaultBindingCacheSize))
+	c.rngState.Store(uint64(self.ClassID)<<32 ^ uint64(self.ClassSpecific) ^ 0x5DEECE66D)
+	return c
 }
 
 // DefaultBindingCacheSize is the default per-object binding cache
@@ -72,24 +83,23 @@ const DefaultBindingCacheSize = 512
 
 // SetResolver installs or replaces the resolver.
 func (c *Caller) SetResolver(r Resolver) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.resolver = r
+	c.resolver.Store(&resolverRef{r: r})
 }
 
 // SetCache replaces the binding cache (e.g. with a different capacity).
 func (c *Caller) SetCache(cache *binding.Cache) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cache = cache
+	c.cache.Store(cache)
 }
 
 // Cache returns the binding cache (for inspection and explicit
 // AddBinding-style propagation).
 func (c *Caller) Cache() *binding.Cache {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cache
+	return c.cache.Load()
+}
+
+// getResolver returns the current resolver (possibly nil).
+func (c *Caller) getResolver() Resolver {
+	return c.resolver.Load().r
 }
 
 // SetEnv overrides the security environment used for outgoing calls
@@ -105,15 +115,14 @@ func (c *Caller) Self() loid.LOID { return c.self }
 // AddBinding seeds the local cache (binding propagation, §3.6).
 func (c *Caller) AddBinding(b binding.Binding) { c.Cache().Add(b) }
 
-// resolveLocked order: cache, then resolver.
+// resolve order: cache, then resolver. The cache-hit path is lock-free
+// above the cache shard itself.
 func (c *Caller) resolve(target loid.LOID) (binding.Binding, error) {
 	cache := c.Cache()
 	if b, ok := cache.Get(target); ok {
 		return b, nil
 	}
-	c.mu.Lock()
-	r := c.resolver
-	c.mu.Unlock()
+	r := c.getResolver()
 	if r == nil {
 		return binding.Binding{}, fmt.Errorf("%w: %v (no resolver)", ErrUnbound, target)
 	}
@@ -178,9 +187,7 @@ func (c *Caller) Call(target loid.LOID, method string, args ...[]byte) (*Result,
 
 func (c *Caller) refresh(stale binding.Binding) (binding.Binding, error) {
 	c.Cache().InvalidateBinding(stale)
-	c.mu.Lock()
-	r := c.resolver
-	c.mu.Unlock()
+	r := c.getResolver()
 	if r == nil {
 		return binding.Binding{}, ErrUnbound
 	}
@@ -212,14 +219,17 @@ func (c *Caller) OneWay(target loid.LOID, method string, args ...[]byte) error {
 // Address, bypassing binding resolution (used for push-style
 // notifications such as binding propagation, §4.1.4).
 func (c *Caller) OneWayAddr(addr oa.Address, target loid.LOID, method string, args ...[]byte) error {
-	msg := &wire.Message{
+	msg := wire.Message{
 		Kind:   wire.KindOneWay,
 		Target: target,
 		Method: method,
 		Env:    c.env,
 		Args:   args,
 	}
-	buf := msg.Marshal(nil)
+	wb := wire.GetBuf()
+	buf := msg.AppendMarshal(wb.B[:0])
+	wb.B = buf
+	defer wb.Put()
 	waves := addr.Targets(c.intn)
 	var lastErr error = transport.ErrUnreachable
 	for _, wave := range waves {
@@ -244,6 +254,29 @@ func retryable(code wire.Code) bool {
 	return code == wire.ErrNoSuchObject || code == wire.ErrUnavailable
 }
 
+// timerPool recycles the per-wave reply timers; every synchronous call
+// arms one, so allocating a fresh runtime timer per call is measurable
+// on the fast path.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // deliver sends one request according to the address semantics and
 // waits for a definitive reply, walking failover waves on timeout or
 // unreachability (§3.4, §4.3). Within a multi-element wave (SemAll,
@@ -251,6 +284,11 @@ func retryable(code wire.Code) bool {
 // replica's answer: the caller keeps listening until a definitive
 // reply, all contacted replicas have answered retryably, or the wave
 // deadline passes.
+//
+// Verdict bookkeeping is per wave: if every wave fails, the returned
+// retryable Result describes the LAST wave attempted, not a leftover
+// reply from an earlier wave — a wave-1 "no such object" must not
+// masquerade as the verdict when wave 2 timed out without answering.
 func (c *Caller) deliver(addr oa.Address, target loid.LOID, method string, args [][]byte) (*Result, error) {
 	waves := addr.Targets(c.intn)
 	if len(waves) == 0 {
@@ -263,7 +301,8 @@ func (c *Caller) deliver(addr oa.Address, target loid.LOID, method string, args 
 			last = &Result{Code: wire.ErrUnavailable, ErrText: err.Error()}
 			continue
 		}
-		timer := time.NewTimer(c.Timeout)
+		var waveLast *Result
+		timer := getTimer(c.Timeout)
 		collected := 0
 		waveDone := false
 		for !waveDone {
@@ -271,23 +310,24 @@ func (c *Caller) deliver(addr oa.Address, target loid.LOID, method string, args 
 			case res := <-f.ch:
 				collected++
 				if !retryable(res.Code) {
-					timer.Stop()
+					putTimer(timer)
 					c.node.cancel(f.id)
 					return res, nil
 				}
-				last = res
+				waveLast = res
 				if collected >= sent {
 					waveDone = true
 				}
 			case <-timer.C:
 				c.node.cancel(f.id)
-				if last == nil {
-					last = &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}
+				if waveLast == nil {
+					waveLast = &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}
 				}
 				waveDone = true
 			}
 		}
-		timer.Stop()
+		putTimer(timer)
+		last = waveLast
 	}
 	if last == nil {
 		last = &Result{Code: wire.ErrUnavailable, ErrText: "no reachable address"}
@@ -305,10 +345,12 @@ func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, a
 }
 
 // sendTo transmits one request wave, returning the future and the
-// number of elements actually contacted.
+// number of elements actually contacted. The marshal buffer is pooled:
+// transports copy (or frame) the payload before Send returns, so the
+// buffer is recycled as soon as the wave is on the wire.
 func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte) (*Future, int, error) {
 	f := c.node.newFuture(len(wave))
-	msg := &wire.Message{
+	msg := wire.Message{
 		Kind:    wire.KindRequest,
 		ID:      f.id,
 		Target:  target,
@@ -317,7 +359,9 @@ func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args
 		ReplyTo: c.node.Address(),
 		Args:    args,
 	}
-	buf := msg.Marshal(nil)
+	wb := wire.GetBuf()
+	buf := msg.AppendMarshal(wb.B[:0])
+	wb.B = buf
 	sent := 0
 	var lastErr error
 	for _, e := range wave {
@@ -327,6 +371,7 @@ func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args
 			lastErr = err
 		}
 	}
+	wb.Put()
 	if sent == 0 {
 		c.node.cancel(f.id)
 		if lastErr == nil {
@@ -340,8 +385,16 @@ func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args
 	return f, sent, nil
 }
 
+// intn returns a value in [0,n) from a lock-free splitmix64 stream;
+// address selection consults it on every deliver, so it must not
+// serialize concurrent callers.
 func (c *Caller) intn(n int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.rng.Intn(n)
+	s := c.rngState.Add(0x9E3779B97F4A7C15)
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	s *= 0x94D049BB133111EB
+	s ^= s >> 31
+	hi, _ := bits.Mul64(s, uint64(n))
+	return int(hi)
 }

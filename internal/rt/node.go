@@ -12,6 +12,16 @@ import (
 	"repro/internal/wire"
 )
 
+// pendingShards stripes the pending-future table so concurrent callers
+// and concurrent replies do not serialize on one lock. Power of two.
+const pendingShards = 16
+
+// pendingShard is one stripe of the correlation-id → Future table.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]*Future
+}
+
 // Node hosts active Legion objects on one transport endpoint. In the
 // paper's terms a Node is one address space on a host; the Host Object
 // for the machine starts objects by spawning them onto nodes. Incoming
@@ -19,19 +29,29 @@ import (
 // objects the node does not (or no longer) hosts are answered with
 // wire.ErrNoSuchObject, which is how callers discover stale bindings
 // (§4.1.4).
+//
+// The receive and send paths are built for concurrency: object lookup
+// is a lock-free sync.Map read, the pending-future table is striped
+// across pendingShards locks, and the node's hot metric counters are
+// interned at construction so no per-message string concatenation
+// happens.
 type Node struct {
 	ep   transport.Endpoint
 	reg  *metrics.Registry
 	name string
 
-	mu      sync.Mutex
-	objects map[loid.LOID]*Object // keyed by LOID identity
-	closed  bool
+	mu      sync.Mutex // serializes Spawn/Kill/Close transitions
+	objects sync.Map   // loid.LOID (identity) -> *Object
+	closed  atomic.Bool
 
-	pmu     sync.Mutex
-	pending map[uint64]*Future
-
+	pending [pendingShards]pendingShard
 	nextMsg atomic.Uint64
+
+	addr oa.Address // cached: ReplyTo of every outgoing request
+
+	cGarbage *metrics.Counter
+	cStale   *metrics.Counter
+	cExcept  *metrics.Counter
 }
 
 // NewNode creates a node with a fresh endpoint on t. Metrics are
@@ -46,11 +66,16 @@ func NewNode(t transport.Transport, reg *metrics.Registry, name string) (*Node, 
 		return nil, err
 	}
 	n := &Node{
-		ep:      ep,
-		reg:     reg,
-		name:    name,
-		objects: make(map[loid.LOID]*Object),
-		pending: make(map[uint64]*Future),
+		ep:       ep,
+		reg:      reg,
+		name:     name,
+		addr:     oa.Single(ep.Element()),
+		cGarbage: reg.Counter("node/" + name + "/garbage"),
+		cStale:   reg.Counter("node/" + name + "/stale-target"),
+		cExcept:  reg.Counter("exceptions/node-" + name),
+	}
+	for i := range n.pending {
+		n.pending[i].m = make(map[uint64]*Future)
 	}
 	ep.SetHandler(n.receive)
 	return n, nil
@@ -62,7 +87,7 @@ func (n *Node) Element() oa.Element { return n.ep.Element() }
 
 // Address returns the node's element as a single-element Object
 // Address.
-func (n *Node) Address() oa.Address { return oa.Single(n.ep.Element()) }
+func (n *Node) Address() oa.Address { return n.addr }
 
 // Registry returns the node's metrics registry.
 func (n *Node) Registry() *metrics.Registry { return n.reg }
@@ -81,19 +106,21 @@ func (n *Node) Spawn(l loid.LOID, impl Impl, opts ...SpawnOption) (*Object, erro
 	for _, opt := range opts {
 		opt(o)
 	}
+	if o.label != "" {
+		o.cReq = n.reg.Counter("req/" + o.label)
+	}
 	if o.caller == nil {
 		o.caller = NewCaller(n, l, nil)
 	}
 	n.mu.Lock()
-	if n.closed {
+	if n.closed.Load() {
 		n.mu.Unlock()
 		return nil, transport.ErrClosed
 	}
-	if _, exists := n.objects[l.ID()]; exists {
+	if _, exists := n.objects.LoadOrStore(l.ID(), o); exists {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("rt: object %v already active on node %s", l, n.name)
 	}
-	n.objects[l.ID()] = o
 	n.mu.Unlock()
 	if b, ok := impl.(Binder); ok {
 		b.Bind(o)
@@ -110,10 +137,11 @@ func (n *Node) Spawn(l loid.LOID, impl Impl, opts ...SpawnOption) (*Object, erro
 
 // Lookup returns the active object registered under l, if any.
 func (n *Node) Lookup(l loid.LOID) (*Object, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	o, ok := n.objects[l.ID()]
-	return o, ok
+	v, ok := n.objects.Load(l.ID())
+	if !ok {
+		return nil, false
+	}
+	return v.(*Object), true
 }
 
 // Kill deactivates the object registered under l and removes it from
@@ -121,41 +149,37 @@ func (n *Node) Lookup(l loid.LOID) (*Object, bool) {
 // reports whether an object was removed.
 func (n *Node) Kill(l loid.LOID) bool {
 	n.mu.Lock()
-	o, ok := n.objects[l.ID()]
-	if ok {
-		delete(n.objects, l.ID())
-	}
+	v, ok := n.objects.LoadAndDelete(l.ID())
 	n.mu.Unlock()
 	if ok {
-		o.stop()
+		v.(*Object).stop()
 	}
 	return ok
 }
 
 // Objects returns the LOIDs of all active objects on the node.
 func (n *Node) Objects() []loid.LOID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]loid.LOID, 0, len(n.objects))
-	for _, o := range n.objects {
-		out = append(out, o.self)
-	}
+	var out []loid.LOID
+	n.objects.Range(func(_, v any) bool {
+		out = append(out, v.(*Object).self)
+		return true
+	})
 	return out
 }
 
 // Close tears down the node, all its objects, and its endpoint.
 func (n *Node) Close() error {
 	n.mu.Lock()
-	if n.closed {
+	if n.closed.Swap(true) {
 		n.mu.Unlock()
 		return nil
 	}
-	n.closed = true
-	objs := make([]*Object, 0, len(n.objects))
-	for _, o := range n.objects {
-		objs = append(objs, o)
-	}
-	n.objects = make(map[loid.LOID]*Object)
+	var objs []*Object
+	n.objects.Range(func(k, v any) bool {
+		objs = append(objs, v.(*Object))
+		n.objects.Delete(k)
+		return true
+	})
 	n.mu.Unlock()
 	for _, o := range objs {
 		o.stop()
@@ -164,38 +188,40 @@ func (n *Node) Close() error {
 }
 
 // receive is the endpoint handler: it decodes and routes one message.
+// The data buffer is only borrowed for the duration of the call
+// (transports may recycle it); wire.Unmarshal copies everything out.
 func (n *Node) receive(data []byte) {
 	msg, err := wire.Unmarshal(data)
 	if err != nil {
-		n.reg.Counter("node/" + n.name + "/garbage").Inc()
+		n.cGarbage.Inc()
 		return
 	}
 	switch msg.Kind {
 	case wire.KindReply:
-		n.pmu.Lock()
-		f, ok := n.pending[msg.ID]
+		s := &n.pending[msg.ID&(pendingShards-1)]
+		s.mu.Lock()
+		f, ok := s.m[msg.ID]
 		if ok {
 			f.remaining--
 			if f.remaining <= 0 {
-				delete(n.pending, msg.ID)
+				delete(s.m, msg.ID)
 			}
 		}
-		n.pmu.Unlock()
+		s.mu.Unlock()
 		if ok {
 			f.complete(&Result{Code: msg.Code, ErrText: msg.ErrText, Results: msg.Args})
 		}
 	case wire.KindRequest, wire.KindOneWay:
-		n.mu.Lock()
-		o, ok := n.objects[msg.Target.ID()]
-		n.mu.Unlock()
+		v, ok := n.objects.Load(msg.Target.ID())
 		if !ok {
 			// The sender's binding is stale (§4.1.4); tell it so.
 			if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
 				n.replyTo(msg, wire.ErrNoSuchObject, fmt.Sprintf("object %v is not active here", msg.Target), nil)
 			}
-			n.reg.Counter("node/" + n.name + "/stale-target").Inc()
+			n.cStale.Inc()
 			return
 		}
+		o := v.(*Object)
 		select {
 		case o.mailbox <- msg:
 		case <-o.done:
@@ -208,13 +234,16 @@ func (n *Node) receive(data []byte) {
 
 func (n *Node) replyTo(req *wire.Message, code wire.Code, errText string, results [][]byte) {
 	rep := req.Reply(code, errText, results)
-	buf := rep.Marshal(nil)
+	wb := wire.GetBuf()
+	buf := rep.AppendMarshal(wb.B[:0])
+	wb.B = buf
 	// Best effort; the reply address may itself be gone.
 	for _, e := range req.ReplyTo.Elements {
 		if err := n.ep.Send(e, buf); err == nil {
-			return
+			break
 		}
 	}
+	wb.Put()
 }
 
 // newFuture registers a pending future under a fresh correlation id,
@@ -225,29 +254,32 @@ func (n *Node) newFuture(expect int) *Future {
 	}
 	id := n.nextMsg.Add(1)
 	f := &Future{id: id, ch: make(chan *Result, expect), node: n, remaining: expect}
-	n.pmu.Lock()
-	n.pending[id] = f
-	n.pmu.Unlock()
+	s := &n.pending[id&(pendingShards-1)]
+	s.mu.Lock()
+	s.m[id] = f
+	s.mu.Unlock()
 	return f
 }
 
 func (n *Node) cancel(id uint64) {
-	n.pmu.Lock()
-	delete(n.pending, id)
-	n.pmu.Unlock()
+	s := &n.pending[id&(pendingShards-1)]
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
 }
 
 // adjustPending lowers a future's expected reply count after some
 // sends failed locally (those replicas will never answer).
 func (n *Node) adjustPending(id uint64, delta int) {
-	n.pmu.Lock()
-	if f, ok := n.pending[id]; ok {
+	s := &n.pending[id&(pendingShards-1)]
+	s.mu.Lock()
+	if f, ok := s.m[id]; ok {
 		f.remaining += delta
 		if f.remaining <= 0 {
-			delete(n.pending, id)
+			delete(s.m, id)
 		}
 	}
-	n.pmu.Unlock()
+	s.mu.Unlock()
 }
 
 // send transmits an encoded message to one element.

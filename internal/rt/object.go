@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/idl"
 	"repro/internal/loid"
+	"repro/internal/metrics"
 	"repro/internal/security"
 	"repro/internal/wire"
 )
@@ -22,6 +23,10 @@ type Object struct {
 	label       string
 	caller      *Caller
 	concurrency int
+
+	// cReq is the interned "req/<label>" counter (nil when unlabeled),
+	// so serving a request never builds a metric name string.
+	cReq *metrics.Counter
 
 	mailbox chan *wire.Message
 	done    chan struct{}
@@ -90,8 +95,8 @@ func (o *Object) loop() {
 }
 
 func (o *Object) serve(msg *wire.Message) {
-	if o.label != "" {
-		o.node.reg.Counter("req/" + o.label).Inc()
+	if o.cReq != nil {
+		o.cReq.Inc()
 	}
 	code, errText, results := o.safeDispatch(msg)
 	if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
@@ -107,7 +112,7 @@ func (o *Object) serve(msg *wire.Message) {
 func (o *Object) safeDispatch(msg *wire.Message) (code wire.Code, errText string, results [][]byte) {
 	defer func() {
 		if r := recover(); r != nil {
-			o.node.reg.Counter("exceptions/node-" + o.node.name).Inc()
+			o.node.cExcept.Inc()
 			code, errText, results = wire.ErrApp, fmt.Sprintf("object exception in %s: %v", msg.Method, r), nil
 		}
 	}()

@@ -1,28 +1,57 @@
 package transport
 
 import (
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/oa"
 )
 
+// memBufPool recycles the per-delivery payload copies the fabric makes
+// (the sender may reuse its buffer the moment Send returns, so the
+// fabric owns a copy until the receiving handler is done with it).
+var memBufPool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 2048)} },
+}
+
+func putMemBuf(fb *frameBuf) {
+	if cap(fb.b) > pooledReadLimit {
+		fb.b = make([]byte, 0, 2048)
+	}
+	memBufPool.Put(fb)
+}
+
 // Fabric is the in-process simulated network. Endpoints are named by
 // TypeMem elements carrying a fabric-unique id. The fabric can inject
 // per-link latency, probabilistic loss, and partitions, and counts
 // per-endpoint traffic so experiments can attribute load.
+//
+// The delivery fast path (no loss, no latency, no partitions) takes no
+// fabric-wide lock: endpoint lookup is a sync.Map read, configuration
+// is read through atomics, and the per-message payload copy comes from
+// a pool — so the simulated network itself does not serialize the
+// concurrent traffic the experiments measure.
 type Fabric struct {
-	mu        sync.Mutex
-	nextID    uint64
-	endpoints map[uint64]*memEndpoint
-	blocked   map[[2]uint64]bool // unordered pair, stored with lo first
-	latency   time.Duration
-	lossProb  float64
-	rng       *rand.Rand
-	reg       *metrics.Registry
-	closed    bool
+	nextID    atomic.Uint64
+	closed    atomic.Bool
+	endpoints sync.Map // uint64 -> *memEndpoint
+	nEps      atomic.Int64
+
+	latency  atomic.Int64  // time.Duration
+	lossBits atomic.Uint64 // math.Float64bits of the loss probability
+	nBlocked atomic.Int64  // fast "any partitions?" check
+
+	mu      sync.Mutex // guards blocked and rng (slow paths only)
+	blocked map[[2]uint64]bool
+	rng     *rand.Rand
+
+	reg      *metrics.Registry
+	cSent    *metrics.Counter
+	cDropped *metrics.Counter
 }
 
 // NewFabric builds an empty fabric. Metrics are recorded into reg;
@@ -32,10 +61,11 @@ func NewFabric(reg *metrics.Registry) *Fabric {
 		reg = metrics.Nop
 	}
 	return &Fabric{
-		endpoints: make(map[uint64]*memEndpoint),
-		blocked:   make(map[[2]uint64]bool),
-		rng:       rand.New(rand.NewSource(1)),
-		reg:       reg,
+		blocked:  make(map[[2]uint64]bool),
+		rng:      rand.New(rand.NewSource(1)),
+		reg:      reg,
+		cSent:    reg.Counter("net/sent"),
+		cDropped: reg.Counter("net/dropped"),
 	}
 }
 
@@ -43,9 +73,7 @@ func NewFabric(reg *metrics.Registry) *Fabric {
 // Zero (the default) delivers synchronously on the sender's goroutine
 // handoff, which is what throughput benchmarks want.
 func (f *Fabric) SetLatency(d time.Duration) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.latency = d
+	f.latency.Store(int64(d))
 }
 
 // SetLoss sets a probability in [0,1] that any message is silently
@@ -53,22 +81,28 @@ func (f *Fabric) SetLatency(d time.Duration) {
 func (f *Fabric) SetLoss(p float64, seed int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.lossProb = p
 	f.rng = rand.New(rand.NewSource(seed))
+	f.lossBits.Store(math.Float64bits(p))
 }
 
 // Block partitions the pair (a,b) in both directions.
 func (f *Fabric) Block(a, b uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.blocked[pairKey(a, b)] = true
+	if !f.blocked[pairKey(a, b)] {
+		f.blocked[pairKey(a, b)] = true
+		f.nBlocked.Add(1)
+	}
 }
 
 // Unblock heals the partition between a and b.
 func (f *Fabric) Unblock(a, b uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	delete(f.blocked, pairKey(a, b))
+	if f.blocked[pairKey(a, b)] {
+		delete(f.blocked, pairKey(a, b))
+		f.nBlocked.Add(-1)
+	}
 }
 
 func pairKey(a, b uint64) [2]uint64 {
@@ -80,19 +114,24 @@ func pairKey(a, b uint64) [2]uint64 {
 
 // NewEndpoint allocates an endpoint with the next fabric id.
 func (f *Fabric) NewEndpoint() (Endpoint, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return nil, ErrClosed
 	}
-	f.nextID++
 	ep := &memEndpoint{
 		fabric: f,
-		id:     f.nextID,
-		queue:  make(chan []byte, 1024),
+		id:     f.nextID.Add(1),
+		queue:  make(chan *frameBuf, 1024),
 		done:   make(chan struct{}),
 	}
-	f.endpoints[ep.id] = ep
+	f.endpoints.Store(ep.id, ep)
+	f.nEps.Add(1)
+	if f.closed.Load() {
+		// Raced with Close; undo the registration.
+		if _, loaded := f.endpoints.LoadAndDelete(ep.id); loaded {
+			f.nEps.Add(-1)
+		}
+		return nil, ErrClosed
+	}
 	go ep.pump()
 	return ep, nil
 }
@@ -105,76 +144,79 @@ func (f *Fabric) SendFrom(from uint64, to oa.Element, data []byte) error {
 	if !ok {
 		return ErrUnreachable
 	}
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
+	if f.closed.Load() {
 		return ErrClosed
 	}
-	ep, ok := f.endpoints[id]
+	v, ok := f.endpoints.Load(id)
 	if !ok {
-		f.mu.Unlock()
 		return ErrUnreachable
 	}
-	if from != 0 && f.blocked[pairKey(from, id)] {
+	ep := v.(*memEndpoint)
+	if from != 0 && f.nBlocked.Load() > 0 {
+		f.mu.Lock()
+		blocked := f.blocked[pairKey(from, id)]
 		f.mu.Unlock()
-		return ErrUnreachable
-	}
-	drop := f.lossProb > 0 && f.rng.Float64() < f.lossProb
-	latency := f.latency
-	f.mu.Unlock()
-
-	f.reg.Counter("net/sent").Inc()
-	if drop {
-		f.reg.Counter("net/dropped").Inc()
-		return nil // silent loss, like the real network
-	}
-	// Copy so the sender may reuse its buffer.
-	msg := make([]byte, len(data))
-	copy(msg, data)
-	deliver := func() {
-		select {
-		case ep.queue <- msg:
-		case <-ep.done:
+		if blocked {
+			return ErrUnreachable
 		}
 	}
-	if latency > 0 {
-		time.AfterFunc(latency, deliver)
-	} else {
-		deliver()
+	f.cSent.Inc()
+	if p := math.Float64frombits(f.lossBits.Load()); p > 0 {
+		f.mu.Lock()
+		drop := f.rng.Float64() < p
+		f.mu.Unlock()
+		if drop {
+			f.cDropped.Inc()
+			return nil // silent loss, like the real network
+		}
+	}
+	if latency := time.Duration(f.latency.Load()); latency > 0 {
+		// Deferred delivery: copy so the sender may reuse its buffer; the
+		// pooled copy is recycled by the receiving pump once the handler
+		// returns.
+		fb := memBufPool.Get().(*frameBuf)
+		fb.b = append(fb.b[:0], data...)
+		time.AfterFunc(latency, func() { ep.enqueue(fb) })
+		return nil
+	}
+	// Zero-latency fast path: run the handler inline on the sender's
+	// goroutine. The Handler contract only lends the buffer for the
+	// duration of the call, and the sender's buffer is valid for exactly
+	// that long — so no copy, no queue, and no pump wakeup. Handlers
+	// (per their contract) hand off to mailboxes and return quickly, so
+	// inline execution cannot recurse deeply.
+	select {
+	case <-ep.done:
+		return ErrUnreachable
+	default:
+	}
+	if h := ep.handler.Load(); h != nil {
+		(*h)(data)
 	}
 	return nil
 }
 
 // Close tears down the whole fabric.
 func (f *Fabric) Close() error {
-	f.mu.Lock()
-	eps := make([]*memEndpoint, 0, len(f.endpoints))
-	for _, ep := range f.endpoints {
-		eps = append(eps, ep)
-	}
-	f.closed = true
-	f.mu.Unlock()
-	for _, ep := range eps {
-		ep.Close()
-	}
+	f.closed.Store(true)
+	f.endpoints.Range(func(_, v any) bool {
+		v.(*memEndpoint).Close()
+		return true
+	})
 	return nil
 }
 
 // Endpoints returns the number of live endpoints.
 func (f *Fabric) Endpoints() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.endpoints)
+	return int(f.nEps.Load())
 }
 
 type memEndpoint struct {
-	fabric *Fabric
-	id     uint64
+	fabric  *Fabric
+	id      uint64
+	handler atomic.Pointer[Handler]
 
-	mu      sync.Mutex
-	handler Handler
-
-	queue chan []byte
+	queue chan *frameBuf
 	done  chan struct{}
 	once  sync.Once
 }
@@ -186,21 +228,25 @@ func (e *memEndpoint) Send(to oa.Element, data []byte) error {
 }
 
 func (e *memEndpoint) SetHandler(h Handler) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.handler = h
+	e.handler.Store(&h)
+}
+
+func (e *memEndpoint) enqueue(fb *frameBuf) {
+	select {
+	case e.queue <- fb:
+	case <-e.done:
+		putMemBuf(fb)
+	}
 }
 
 func (e *memEndpoint) pump() {
 	for {
 		select {
-		case msg := <-e.queue:
-			e.mu.Lock()
-			h := e.handler
-			e.mu.Unlock()
-			if h != nil {
-				h(msg)
+		case fb := <-e.queue:
+			if h := e.handler.Load(); h != nil {
+				(*h)(fb.b)
 			}
+			putMemBuf(fb)
 		case <-e.done:
 			return
 		}
@@ -211,9 +257,9 @@ func (e *memEndpoint) Close() error {
 	e.once.Do(func() {
 		close(e.done)
 		f := e.fabric
-		f.mu.Lock()
-		delete(f.endpoints, e.id)
-		f.mu.Unlock()
+		if _, loaded := f.endpoints.LoadAndDelete(e.id); loaded {
+			f.nEps.Add(-1)
+		}
 	})
 	return nil
 }

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/oa"
 )
@@ -14,10 +16,49 @@ import (
 // limits with headroom).
 const maxFrame = 32 << 20
 
+// sendQueueDepth bounds the frames queued to one destination's writer
+// goroutine; a full queue applies backpressure to senders.
+const sendQueueDepth = 256
+
+// writerBatch caps how many queued frames the writer coalesces into one
+// buffered flush. Batching amortizes the kernel write; the writer still
+// flushes immediately when its queue runs dry, so an isolated message
+// pays no added latency.
+const writerBatch = 64
+
+// pooledReadLimit is the largest frame served from the pooled read
+// buffer; larger frames get a one-off allocation.
+const pooledReadLimit = 64 << 10
+
+// framePool recycles outbound frame buffers (4-byte length prefix +
+// payload) between Send and the writer goroutine.
+var framePool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 2048)} },
+}
+
+type frameBuf struct{ b []byte }
+
+func putFrame(f *frameBuf) {
+	if cap(f.b) > pooledReadLimit {
+		f.b = make([]byte, 0, 2048)
+	}
+	framePool.Put(f)
+}
+
+// readBufPool recycles inbound frame buffers for frames under
+// pooledReadLimit. Handlers must not retain the buffer (see Handler).
+var readBufPool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, pooledReadLimit)} },
+}
+
 // TCP is a Transport over real TCP sockets, for multi-process Legion
 // deployments. Each endpoint owns one listener; messages are
-// length-prefixed frames. Outbound connections are cached per
-// destination and redialed on failure.
+// length-prefixed frames. Outbound traffic to each destination flows
+// through a dedicated writer goroutine behind a bounded queue: senders
+// never hold a lock across a kernel write, consecutive frames are
+// coalesced into one buffered flush, and redialing happens in the
+// writer. Connections are cached per destination and redialed on
+// failure.
 type TCP struct {
 	// ListenHost is the host/IP to bind listeners on. Defaults to
 	// 127.0.0.1, which keeps tests and examples self-contained.
@@ -60,14 +101,46 @@ type tcpEndpoint struct {
 	cmu   sync.Mutex
 	conns map[string]*tcpConn
 
-	done   chan struct{}
-	once   sync.Once
-	closed bool
+	done chan struct{}
+	once sync.Once
 }
 
+// tcpConn is the send-side state for one destination: the current
+// writer generation plus the sticky error from the last failed one.
 type tcpConn struct {
-	mu   sync.Mutex
+	hostport string
+
+	mu sync.Mutex
+	w  *tcpWriter // nil when no live connection
+}
+
+// tcpWriter is one connection generation: a socket, a bounded frame
+// queue, and the goroutine that drains it.
+type tcpWriter struct {
+	cmu  sync.Mutex // guards conn (replaced on in-writer redial)
 	conn net.Conn
+	ch   chan *frameBuf
+	dead chan struct{} // closed when this generation fails
+	once sync.Once
+}
+
+func (w *tcpWriter) kill() { w.once.Do(func() { close(w.dead) }) }
+
+// swapConn replaces the socket after a successful redial.
+func (w *tcpWriter) swapConn(conn net.Conn) {
+	w.cmu.Lock()
+	old := w.conn
+	w.conn = conn
+	w.cmu.Unlock()
+	old.Close()
+}
+
+// closeConn closes the current socket (whichever generation holds it).
+func (w *tcpWriter) closeConn() {
+	w.cmu.Lock()
+	conn := w.conn
+	w.cmu.Unlock()
+	conn.Close()
 }
 
 func (e *tcpEndpoint) Element() oa.Element { return e.elem }
@@ -88,6 +161,7 @@ func (e *tcpEndpoint) handle(data []byte) {
 }
 
 func (e *tcpEndpoint) acceptLoop() {
+	backoff := time.Millisecond
 	for {
 		conn, err := e.ln.Accept()
 		if err != nil {
@@ -96,8 +170,19 @@ func (e *tcpEndpoint) acceptLoop() {
 				return
 			default:
 			}
+			// Transient accept failure (e.g. fd exhaustion): back off
+			// instead of spinning hot on the error.
+			select {
+			case <-e.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < 200*time.Millisecond {
+				backoff *= 2
+			}
 			continue
 		}
+		backoff = time.Millisecond
 		go e.readLoop(conn)
 	}
 }
@@ -113,16 +198,29 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		if n == 0 || n > maxFrame {
 			return
 		}
-		frame := make([]byte, n)
-		if _, err := io.ReadFull(conn, frame); err != nil {
-			return
+		if n <= pooledReadLimit {
+			fb := readBufPool.Get().(*frameBuf)
+			frame := fb.b[:n]
+			if _, err := io.ReadFull(conn, frame); err != nil {
+				readBufPool.Put(fb)
+				return
+			}
+			e.handle(frame)
+			readBufPool.Put(fb)
+		} else {
+			frame := make([]byte, n)
+			if _, err := io.ReadFull(conn, frame); err != nil {
+				return
+			}
+			e.handle(frame)
 		}
-		e.handle(frame)
 	}
 }
 
-// Send frames data and writes it on a cached connection to the
-// destination, dialing (or redialing once) as needed.
+// Send frames data and queues it to the destination's writer goroutine,
+// dialing synchronously when no live connection exists (so an
+// unreachable destination is still reported to the caller). The data
+// buffer is copied before Send returns.
 func (e *tcpEndpoint) Send(to oa.Element, data []byte) error {
 	hostport, ok := oa.IPHostPort(to)
 	if !ok {
@@ -136,31 +234,136 @@ func (e *tcpEndpoint) Send(to oa.Element, data []byte) error {
 		return ErrClosed
 	default:
 	}
-	frame := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	copy(frame[4:], data)
+
+	fb := framePool.Get().(*frameBuf)
+	b := fb.b[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(len(data)))
+	b = append(b, data...)
+	fb.b = b
 
 	tc := e.connFor(hostport)
+	for attempt := 0; attempt < 2; attempt++ {
+		w, err := e.writerFor(tc)
+		if err != nil {
+			putFrame(fb)
+			return fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		select {
+		case w.ch <- fb:
+			return nil
+		case <-w.dead:
+			// This generation failed while we held it; dial a fresh one.
+			continue
+		case <-e.done:
+			putFrame(fb)
+			return ErrClosed
+		}
+	}
+	putFrame(fb)
+	return ErrUnreachable
+}
+
+// writerFor returns the destination's live writer, dialing a new
+// connection (and starting its writer goroutine) if none exists.
+func (e *tcpEndpoint) writerFor(tc *tcpConn) (*tcpWriter, error) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	// Try the cached connection first; on any failure, redial once.
-	if tc.conn != nil {
-		if _, err := tc.conn.Write(frame); err == nil {
-			return nil
+	if tc.w != nil {
+		select {
+		case <-tc.w.dead:
+			tc.w = nil // fell over since the last send
+		default:
+			return tc.w, nil
 		}
-		tc.conn.Close()
-		tc.conn = nil
 	}
-	conn, err := net.Dial("tcp", hostport)
+	conn, err := net.Dial("tcp", tc.hostport)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return nil, err
 	}
-	if _, err := conn.Write(frame); err != nil {
-		conn.Close()
-		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	w := &tcpWriter{
+		conn: conn,
+		ch:   make(chan *frameBuf, sendQueueDepth),
+		dead: make(chan struct{}),
 	}
-	tc.conn = conn
-	return nil
+	tc.w = w
+	go e.writeLoop(tc, w)
+	return w, nil
+}
+
+// writeLoop drains one destination's queue: it coalesces up to
+// writerBatch pending frames into a buffered writer, flushes when the
+// queue runs dry or the batch fills, and on a write error redials once
+// and keeps draining (frames caught mid-failure are lost, as the
+// transport contract permits) before declaring the generation dead.
+func (e *tcpEndpoint) writeLoop(tc *tcpConn, w *tcpWriter) {
+	bw := bufio.NewWriterSize(w.conn, 64<<10)
+	redialed := false
+	for {
+		select {
+		case fb := <-w.ch:
+			batched := 1
+			err := writeFrame(bw, fb)
+			for err == nil && batched < writerBatch {
+				select {
+				case fb2 := <-w.ch:
+					err = writeFrame(bw, fb2)
+					batched++
+					continue
+				default:
+				}
+				break
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				if !redialed {
+					redialed = true
+					if conn, derr := net.Dial("tcp", tc.hostport); derr == nil {
+						w.swapConn(conn)
+						bw = bufio.NewWriterSize(conn, 64<<10)
+						continue // frames already consumed are lost; keep draining
+					}
+				}
+				e.failWriter(tc, w)
+				return
+			}
+			redialed = false
+		case <-e.done:
+			bw.Flush()
+			w.closeConn()
+			w.kill()
+			return
+		}
+	}
+}
+
+// writeFrame copies one frame into the buffered writer and recycles it.
+func writeFrame(bw *bufio.Writer, fb *frameBuf) error {
+	_, err := bw.Write(fb.b)
+	putFrame(fb)
+	return err
+}
+
+// failWriter retires a dead connection generation: unhooks it so the
+// next Send redials, closes the socket, and drops queued frames (the
+// transport permits silent loss in transit).
+func (e *tcpEndpoint) failWriter(tc *tcpConn, w *tcpWriter) {
+	tc.mu.Lock()
+	if tc.w == w {
+		tc.w = nil
+	}
+	tc.mu.Unlock()
+	w.kill()
+	w.closeConn()
+	for {
+		select {
+		case fb := <-w.ch:
+			putFrame(fb)
+		default:
+			return
+		}
+	}
 }
 
 func (e *tcpEndpoint) connFor(hostport string) *tcpConn {
@@ -168,7 +371,7 @@ func (e *tcpEndpoint) connFor(hostport string) *tcpConn {
 	defer e.cmu.Unlock()
 	tc, ok := e.conns[hostport]
 	if !ok {
-		tc = &tcpConn{}
+		tc = &tcpConn{hostport: hostport}
 		e.conns[hostport] = tc
 	}
 	return tc
@@ -181,9 +384,10 @@ func (e *tcpEndpoint) Close() error {
 		e.cmu.Lock()
 		for _, tc := range e.conns {
 			tc.mu.Lock()
-			if tc.conn != nil {
-				tc.conn.Close()
-				tc.conn = nil
+			if tc.w != nil {
+				tc.w.kill()
+				tc.w.closeConn()
+				tc.w = nil
 			}
 			tc.mu.Unlock()
 		}

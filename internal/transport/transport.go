@@ -28,7 +28,10 @@ var ErrClosed = errors.New("transport: closed")
 
 // Handler consumes one received message. Handlers are called
 // sequentially per endpoint; implementations hand off to mailboxes and
-// return quickly.
+// return quickly. The data buffer is only valid for the duration of
+// the call — transports recycle receive buffers — so a handler that
+// needs the bytes afterwards must copy them (decoding into an owned
+// structure, as wire.Unmarshal does, counts).
 type Handler func(data []byte)
 
 // Endpoint is a send/receive port with a transport-level address.

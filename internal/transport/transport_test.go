@@ -22,8 +22,9 @@ func newCollector() *collector {
 }
 
 func (c *collector) handler(data []byte) {
+	// The Handler contract only lends the buffer for the call; copy.
 	c.mu.Lock()
-	c.msgs = append(c.msgs, data)
+	c.msgs = append(c.msgs, append([]byte(nil), data...))
 	c.mu.Unlock()
 	c.ch <- struct{}{}
 }

@@ -9,6 +9,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/loid"
 	"repro/internal/oa"
@@ -110,8 +111,46 @@ const maxArgs = 1 << 16
 // maxArgLen bounds one argument (16 MiB).
 const maxArgLen = 16 << 20
 
+// Buf is a pooled marshal buffer. The invocation fast path marshals
+// every request, reply, and one-way into a Buf and recycles it once the
+// transport has taken its copy, so steady-state traffic does not
+// allocate a fresh buffer per message.
+type Buf struct {
+	B []byte
+}
+
+// maxPooledBuf caps what Put keeps: a huge argument blob should not pin
+// its buffer in the pool forever.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 1024)} },
+}
+
+// GetBuf returns a pooled buffer with zero length and non-trivial
+// capacity. Callers marshal into b.B and must call b.Put when the bytes
+// are no longer referenced.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// Put recycles the buffer. The caller must not touch b or b.B after.
+func (b *Buf) Put() {
+	if cap(b.B) > maxPooledBuf {
+		b.B = make([]byte, 0, 1024)
+	}
+	bufPool.Put(b)
+}
+
 // Marshal appends the binary encoding of m to dst.
-func (m *Message) Marshal(dst []byte) []byte {
+func (m *Message) Marshal(dst []byte) []byte { return m.AppendMarshal(dst) }
+
+// AppendMarshal appends the binary encoding of m to dst and returns the
+// extended slice. It is the allocation-transparent form used with
+// pooled buffers (GetBuf/Put).
+func (m *Message) AppendMarshal(dst []byte) []byte {
 	var hdr [4]byte
 	binary.BigEndian.PutUint16(hdr[0:2], magic)
 	hdr[2] = version
