@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// RunE16 measures invocation availability under host crash/restart
+// churn. §4.3 frames partial failure as the defining hazard of a
+// wide-area object system; the fault-tolerant invocation pipeline
+// (deadline propagation, retry budgets with jittered backoff, and
+// per-destination health breakers) is this repo's concretization. The
+// experiment crashes worker hosts on a cycle while clients issue
+// deadline-bounded calls, and compares a baseline — whose only failure
+// detection is the reboot reconcile when a host returns — against the
+// health layer, whose client-side breakers double as a failure
+// detector that tells the Magistrate early. Success means completing
+// within the per-call deadline; failed calls burn their whole budget,
+// so they dominate the latency tail.
+func RunE16(scale Scale) (*Table, error) {
+	measureFor := 4 * time.Second
+	if scale == Full {
+		measureFor = 10 * time.Second
+	}
+	// The outage outlives the per-call budget: a call aimed at a dead
+	// host cannot be saved by blind retrying alone — only by failure
+	// detection rerouting it. That is the regime §4.3 cares about.
+	const (
+		callTimeout = 150 * time.Millisecond  // per-wave timer
+		deadline    = 600 * time.Millisecond  // per-call budget
+		downFor     = 1200 * time.Millisecond // crash outage length
+	)
+	load := sim.FaultLoad{
+		Duration: measureFor,
+		Deadline: deadline,
+		Pace:     4 * time.Millisecond,
+		Retry: rt.RetryPolicy{
+			MaxAttempts: 8,
+			BaseBackoff: 15 * time.Millisecond,
+			MaxBackoff:  80 * time.Millisecond,
+		},
+	}
+
+	t := &Table{
+		ID:    "E16",
+		Title: "Invocation availability under host crash/restart churn (§4.3)",
+		Claim: "with deadlines, retry budgets, and breaker-driven failure detection, invocations mask host crashes: >=99% of deadline-bounded calls succeed under churn, where a reboot-detection baseline loses every call aimed at a dead host for the whole outage",
+		Columns: []string{"churn (crash period)", "health layer", "calls", "success", "p50", "p99", "crashes"},
+	}
+
+	type row struct {
+		name   string
+		period time.Duration // 0 = no churn
+		health bool
+	}
+	rows := []row{
+		{"none", 0, false},
+		{"1 per 2s", 2 * time.Second, false},
+		{"1 per 2s", 2 * time.Second, true},
+	}
+	if scale == Full {
+		rows = append(rows,
+			row{"1 per 3s", 3 * time.Second, false},
+			row{"1 per 3s", 3 * time.Second, true},
+		)
+	}
+
+	var baseSuccess, healthSuccess []float64
+	for _, r := range rows {
+		// A fresh deployment per row: churn mutates placement, and the
+		// rows must not inherit each other's breaker or cache state.
+		s, err := sim.Build(sim.Config{
+			HostsPerJurisdiction: 3,
+			ObjectsPerClass:      12,
+			Clients:              4,
+			CallTimeout:          callTimeout,
+			Seed:                 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range s.Flat {
+			if res, err := s.Clients[0].Call(l, "Work"); err != nil || res.Code != wire.OK {
+				s.Close()
+				return nil, fmt.Errorf("E16 warm %v: %v %v", l, res, err)
+			}
+		}
+		if r.health {
+			tr := s.EnableHealth(health.Config{
+				FailureThreshold: 3,
+				OpenDuration:     300 * time.Millisecond,
+			})
+			stopDet := s.StartHealthDetector(tr, 40*time.Millisecond)
+			defer stopDet()
+		}
+		crashes := 0
+		if r.period > 0 {
+			// Churn only hosts 1 and 2; placement slot 0 carries the
+			// class object (volatile logical table, see sim.StartChurn).
+			stopChurn, err := s.StartChurn(0, []int{1, 2}, r.period, downFor, &crashes)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			defer stopChurn()
+			res := s.RunFaultCalls(load)
+			stopChurn()
+			record(t, r.name, r.health, res, crashes)
+			if r.health {
+				healthSuccess = append(healthSuccess, res.SuccessRate())
+			} else {
+				baseSuccess = append(baseSuccess, res.SuccessRate())
+			}
+		} else {
+			res := s.RunFaultCalls(load)
+			record(t, r.name, r.health, res, crashes)
+		}
+		s.Close()
+	}
+
+	holds := len(healthSuccess) > 0
+	for _, hs := range healthSuccess {
+		if hs < 0.99 {
+			holds = false
+		}
+	}
+	var worst float64 = 1
+	for i, bs := range baseSuccess {
+		if i < len(healthSuccess) && bs >= healthSuccess[i]-0.02 {
+			holds = false // the baseline must be measurably worse
+		}
+		if bs < worst {
+			worst = bs
+		}
+	}
+	if holds {
+		t.Finding = fmt.Sprintf("holds: health layer sustains >=99%% success under churn while the reboot-detection baseline drops to %.1f%%; breaker-driven detection also collapses the latency tail", worst*100)
+	} else {
+		t.Finding = "NOT holding: health layer did not reach 99% success or the baseline was not measurably worse"
+	}
+	return t, nil
+}
+
+func record(t *Table, churn string, healthOn bool, res sim.FaultResult, crashes int) {
+	onOff := "off"
+	if healthOn {
+		onOff = "on (breaker detector)"
+	}
+	t.Rows = append(t.Rows, []string{
+		churn, onOff,
+		fmt.Sprintf("%d", res.Calls),
+		fmt.Sprintf("%.1f%%", res.SuccessRate()*100),
+		res.P50.Round(10 * time.Microsecond).String(),
+		res.P99.Round(100 * time.Microsecond).String(),
+		fmt.Sprintf("%d", crashes),
+	})
+}

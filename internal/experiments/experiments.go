@@ -104,6 +104,7 @@ func All() []Runner {
 		{"E13", "propagation-ablation", RunE13},
 		{"E14", "scheduling-ablation", RunE14},
 		{"E15", "wide-area-latency", RunE15},
+		{"E16", "fault-churn", RunE16},
 	}
 }
 

@@ -1,0 +1,128 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/oa"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTracker(Config{FailureThreshold: 3, OpenDuration: 30 * time.Millisecond}, reg)
+	e := oa.MemElement(7)
+
+	// Unknown endpoints are presumed healthy.
+	if !tr.Allow(e) || tr.StateOf(e) != Closed || tr.Rank(e) != 0 {
+		t.Fatal("fresh endpoint not presumed healthy")
+	}
+
+	// Below threshold: still closed, but ranked behind clean endpoints.
+	tr.ReportFailure(e)
+	tr.ReportFailure(e)
+	if st := tr.StateOf(e); st != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	if tr.Rank(e) != 1 {
+		t.Fatalf("rank after 2 failures = %d, want 1", tr.Rank(e))
+	}
+
+	// Third consecutive failure opens the breaker.
+	tr.ReportFailure(e)
+	if st := tr.StateOf(e); st != Open {
+		t.Fatalf("state after 3 failures = %v, want open", st)
+	}
+	if tr.Allow(e) {
+		t.Fatal("open breaker admitted traffic")
+	}
+	if reg.Counter("health/opened").Value() != 1 {
+		t.Fatalf("opened counter = %d, want 1", reg.Counter("health/opened").Value())
+	}
+	if reg.Counter("health/skipped").Value() == 0 {
+		t.Fatal("skipped counter not incremented")
+	}
+
+	// After OpenDuration: exactly one half-open probe is admitted.
+	time.Sleep(40 * time.Millisecond)
+	if !tr.Allow(e) {
+		t.Fatal("half-open probe rejected")
+	}
+	if tr.Allow(e) {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+	if reg.Counter("health/probes").Value() != 1 {
+		t.Fatalf("probes counter = %d, want 1", reg.Counter("health/probes").Value())
+	}
+
+	// Failing the probe re-opens immediately.
+	tr.ReportFailure(e)
+	if st := tr.StateOf(e); st != Open {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+
+	// A successful probe closes the breaker.
+	time.Sleep(40 * time.Millisecond)
+	if !tr.Allow(e) {
+		t.Fatal("second probe rejected")
+	}
+	tr.ReportSuccess(e, time.Millisecond)
+	if st := tr.StateOf(e); st != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if !tr.Allow(e) {
+		t.Fatal("closed breaker rejected traffic")
+	}
+}
+
+func TestSuccessResetsConsecutiveFailures(t *testing.T) {
+	tr := NewTracker(Config{FailureThreshold: 3}, nil)
+	e := oa.MemElement(1)
+	for i := 0; i < 10; i++ {
+		tr.ReportFailure(e)
+		tr.ReportFailure(e)
+		tr.ReportSuccess(e, 0) // interleaved successes: never 3 consecutive
+	}
+	if st := tr.StateOf(e); st != Closed {
+		t.Fatalf("state = %v, want closed (failures were never consecutive)", st)
+	}
+}
+
+func TestLatencyEWMA(t *testing.T) {
+	tr := NewTracker(Config{Alpha: 0.5}, nil)
+	e := oa.MemElement(2)
+	tr.ReportSuccess(e, 100*time.Millisecond)
+	if got := tr.Latency(e); got != 100*time.Millisecond {
+		t.Fatalf("first sample: got %v", got)
+	}
+	tr.ReportSuccess(e, 200*time.Millisecond)
+	if got := tr.Latency(e); got != 150*time.Millisecond {
+		t.Fatalf("ewma after 100,200 at alpha=0.5: got %v, want 150ms", got)
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker(Config{FailureThreshold: 2, OpenDuration: time.Millisecond}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e := oa.MemElement(uint64(g % 3))
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					tr.ReportFailure(e)
+				case 1:
+					tr.ReportSuccess(e, time.Duration(i)*time.Microsecond)
+				case 2:
+					tr.Allow(e)
+				case 3:
+					tr.Rank(e)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

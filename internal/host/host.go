@@ -251,6 +251,25 @@ func (h *Host) killObject(inv *rt.Invocation) ([][]byte, error) {
 	return nil, nil
 }
 
+// CrashResidents models a machine crash from the host's side: every
+// resident object is torn down WITHOUT SaveState — volatile state is
+// simply gone, exactly as on a power failure. Returns the LOIDs that
+// were lost. (The chaos controller pairs this with crashing the node's
+// network endpoint and notifying the Magistrate via HostFailed.)
+func (h *Host) CrashResidents() []loid.LOID {
+	h.mu.Lock()
+	lost := make([]loid.LOID, 0, len(h.running))
+	for l := range h.running {
+		lost = append(lost, l)
+	}
+	h.running = make(map[loid.LOID]string)
+	h.mu.Unlock()
+	for _, l := range lost {
+		h.node.Kill(l)
+	}
+	return lost
+}
+
 // SaveState implements rt.Impl. A Host Object's identity is tied to
 // its machine; it persists only its limits.
 func (h *Host) SaveState() ([]byte, error) {

@@ -371,6 +371,60 @@ func (m *Magistrate) startOn(l loid.LOID, rec *record, h hostEntry, oprAddr pers
 	return [][]byte{wire.Binding(b)}, nil
 }
 
+// HostFailed records the crash of a host (invoked by whatever failure
+// detector notices it — in the simulator, the chaos controller). Every
+// object that was active on h becomes inert again; because a crash
+// loses the host's volatile memory, an object with no persistent
+// representation restarts from its initial (empty) state — an
+// empty-state OPR is minted for it so the normal Activate path can
+// bring it back on a surviving host. In-flight activations onto h are
+// left to fail on their own and re-examine. The affected LOIDs are
+// returned so callers can log or re-activate them eagerly.
+func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, he := range m.hosts {
+		if he.l.SameObject(h) {
+			m.hosts = append(m.hosts[:i], m.hosts[i+1:]...)
+			break
+		}
+	}
+	var affected []loid.LOID
+	for id, rec := range m.table {
+		if !rec.active || !rec.host.SameObject(h) || rec.activating {
+			continue
+		}
+		rec.active = false
+		rec.host = loid.Nil
+		rec.addr = oa.Address{}
+		if rec.oprAddr == "" {
+			// The running state died with the host; persist a blank
+			// OPR so the record is activatable again.
+			if a, err := m.store.Put(persist.OPR{LOID: id, Impl: rec.impl}); err == nil {
+				rec.oprAddr = a
+			}
+		}
+		affected = append(affected, id)
+	}
+	return affected
+}
+
+// HostRecovered re-admits a restarted host to the jurisdiction (the
+// simulator's restart path; production hosts re-register via AddHost).
+func (m *Magistrate) HostRecovered(h loid.LOID, addr oa.Address) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.hosts {
+		if m.hosts[i].l.SameObject(h) {
+			m.hosts[i].addr = addr
+			m.seedHost(h, addr)
+			return
+		}
+	}
+	m.hosts = append(m.hosts, hostEntry{l: h, addr: addr})
+	m.seedHost(h, addr)
+}
+
 func (m *Magistrate) bindingLocked(l loid.LOID, addr oa.Address) binding.Binding {
 	if m.BindingTTL > 0 {
 		return binding.Until(l, addr, time.Now().Add(m.BindingTTL))

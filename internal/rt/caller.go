@@ -1,14 +1,17 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/binding"
+	"repro/internal/health"
 	"repro/internal/loid"
 	"repro/internal/oa"
 	"repro/internal/security"
@@ -51,13 +54,22 @@ type Caller struct {
 
 	resolver atomic.Pointer[resolverRef]
 	cache    atomic.Pointer[binding.Cache]
+	health   atomic.Pointer[health.Tracker]
 	rngState atomic.Uint64
 
-	// Timeout is the per-wave reply deadline (default 2s).
+	// Timeout is the per-wave reply deadline (default 2s). A call with
+	// a propagated deadline uses min(Timeout, remaining budget) per
+	// wave.
 	Timeout time.Duration
 	// MaxRefresh bounds stale-binding refresh attempts per invocation
-	// (default 2).
+	// (default 2). Superseded by Retry.MaxAttempts when that is set.
 	MaxRefresh int
+	// Retry configures the synchronous retry loop; the zero value
+	// keeps the historical MaxRefresh+1-attempts-no-backoff behaviour.
+	Retry RetryPolicy
+	// Budget, when non-nil, rate-limits this caller's retries (shared
+	// budgets bound retry amplification fleet-wide). Nil = unlimited.
+	Budget *RetryBudget
 }
 
 // NewCaller builds a communication layer for self on node. resolver
@@ -90,6 +102,18 @@ func (c *Caller) SetResolver(r Resolver) {
 func (c *Caller) SetCache(cache *binding.Cache) {
 	c.cache.Store(cache)
 }
+
+// SetHealth installs a per-destination health tracker (nil disables).
+// Trackers are typically shared by many callers so that one caller's
+// timeout spares the rest the same discovery. With a tracker set,
+// deliver skips endpoints whose breaker is open, prefers healthy
+// replicas in wave order, and reports send/reply outcomes back.
+func (c *Caller) SetHealth(t *health.Tracker) {
+	c.health.Store(t)
+}
+
+// Health returns the installed health tracker (nil when disabled).
+func (c *Caller) Health() *health.Tracker { return c.health.Load() }
 
 // Cache returns the binding cache (for inspection and explicit
 // AddBinding-style propagation).
@@ -138,11 +162,18 @@ func (c *Caller) resolve(target loid.LOID) (binding.Binding, error) {
 // Future. Binding resolution and transmission happen before return;
 // only the reply is awaited through the Future.
 func (c *Caller) Invoke(target loid.LOID, method string, args ...[]byte) (*Future, error) {
+	return c.InvokeCtx(context.Background(), target, method, args...)
+}
+
+// InvokeCtx is Invoke with a context: the context's deadline (if any)
+// is stamped into the request environment so the receiving object and
+// its nested calls inherit the remaining budget.
+func (c *Caller) InvokeCtx(ctx context.Context, target loid.LOID, method string, args ...[]byte) (*Future, error) {
 	b, err := c.resolve(target)
 	if err != nil {
 		return nil, err
 	}
-	return c.sendRequest(b.Address, target, method, args)
+	return c.sendRequest(b.Address, target, method, args, deadlineNanos(ctx))
 }
 
 // Call is the synchronous convenience around Invoke: it awaits the
@@ -150,21 +181,48 @@ func (c *Caller) Invoke(target loid.LOID, method string, args ...[]byte) (*Futur
 // (§4.1.4: "when [a binding] doesn't work ... request that the binding
 // be refreshed").
 func (c *Caller) Call(target loid.LOID, method string, args ...[]byte) (*Result, error) {
+	return c.CallCtx(context.Background(), target, method, args...)
+}
+
+// CallCtx is Call with a context. The context's deadline bounds the
+// whole call — per-wave timeouts are clipped to the remaining budget,
+// the deadline rides wire.Env so nested hops inherit what is left, and
+// an expired budget yields a definitive ErrDeadlineExceeded result.
+// Retries follow c.Retry (attempts, jittered exponential backoff) and
+// draw on c.Budget when one is installed.
+func (c *Caller) CallCtx(ctx context.Context, target loid.LOID, method string, args ...[]byte) (*Result, error) {
 	b, err := c.resolve(target)
 	if err != nil {
 		return nil, err
 	}
+	deadline := deadlineOf(ctx)
+	maxAttempts := c.Retry.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = c.MaxRefresh + 1
+	}
 	for attempt := 0; ; attempt++ {
-		res, err := c.deliver(b.Address, target, method, args)
-		if err == nil && res.Code != wire.ErrNoSuchObject && res.Code != wire.ErrUnavailable {
+		res, err := c.deliver(ctx, b.Address, target, method, args)
+		if err == nil && !retryable(res.Code) {
 			return res, nil
 		}
-		if attempt >= c.MaxRefresh {
+		if attempt >= maxAttempts-1 {
 			if err != nil {
 				return nil, err
 			}
 			return res, nil
 		}
+		// Retries cost budget: a shared budget keeps a partial outage
+		// from amplifying offered load exactly when capacity is short.
+		if !c.Budget.Take() {
+			if err != nil {
+				return nil, fmt.Errorf("rt: %v (retry budget exhausted)", err)
+			}
+			return res, nil
+		}
+		// Jittered exponential backoff decorrelates retry storms. The
+		// sleep is clipped to the deadline; if the budget runs out the
+		// next deliver returns ErrDeadlineExceeded.
+		_ = sleepBackoff(c.Retry.backoff(attempt, c.intn), deadline)
 		// The binding is stale or the endpoint unreachable: refresh.
 		nb, rerr := c.refresh(b)
 		if rerr != nil {
@@ -185,6 +243,27 @@ func (c *Caller) Call(target loid.LOID, method string, args ...[]byte) (*Result,
 	}
 }
 
+// deadlineOf extracts a context deadline (zero time when absent).
+func deadlineOf(ctx context.Context) time.Time {
+	if ctx == nil {
+		return time.Time{}
+	}
+	d, ok := ctx.Deadline()
+	if !ok {
+		return time.Time{}
+	}
+	return d
+}
+
+// deadlineNanos is deadlineOf in wire encoding (0 = none).
+func deadlineNanos(ctx context.Context) int64 {
+	d := deadlineOf(ctx)
+	if d.IsZero() {
+		return 0
+	}
+	return d.UnixNano()
+}
+
 func (c *Caller) refresh(stale binding.Binding) (binding.Binding, error) {
 	c.Cache().InvalidateBinding(stale)
 	r := c.getResolver()
@@ -203,7 +282,12 @@ func (c *Caller) refresh(stale binding.Binding) (binding.Binding, error) {
 // binding resolution. Bootstrap and Binding Agent clients use it (the
 // agent's address is part of the object's persistent state, §3.6).
 func (c *Caller) CallAddr(addr oa.Address, target loid.LOID, method string, args ...[]byte) (*Result, error) {
-	return c.deliver(addr, target, method, args)
+	return c.deliver(context.Background(), addr, target, method, args)
+}
+
+// CallAddrCtx is CallAddr with a context deadline.
+func (c *Caller) CallAddrCtx(ctx context.Context, addr oa.Address, target loid.LOID, method string, args ...[]byte) (*Result, error) {
+	return c.deliver(ctx, addr, target, method, args)
 }
 
 // OneWay sends a method invocation with no reply expected.
@@ -249,9 +333,11 @@ func (c *Caller) OneWayAddr(addr oa.Address, target loid.LOID, method string, ar
 }
 
 // retryable reports reply codes that mean "try another replica or a
-// refreshed binding" rather than a definitive answer.
+// refreshed binding" rather than a definitive answer. The
+// classification itself lives next to the codes (wire.Retryable) so
+// additions are audited — and table-tested — in one place.
 func retryable(code wire.Code) bool {
-	return code == wire.ErrNoSuchObject || code == wire.ErrUnavailable
+	return wire.Retryable(code)
 }
 
 // timerPool recycles the per-wave reply timers; every synchronous call
@@ -289,73 +375,209 @@ func putTimer(t *time.Timer) {
 // retryable Result describes the LAST wave attempted, not a leftover
 // reply from an earlier wave — a wave-1 "no such object" must not
 // masquerade as the verdict when wave 2 timed out without answering.
-func (c *Caller) deliver(addr oa.Address, target loid.LOID, method string, args [][]byte) (*Result, error) {
+//
+// With a health tracker installed, waves are reordered to prefer
+// healthy endpoints, endpoints whose breaker is open are skipped
+// (fail-fast instead of burning a wave timeout on a known-dead
+// replica), and every outcome is reported back: a send error or an
+// unanswered wave timeout is a failure; ANY reply — even a retryable
+// one — proves the endpoint alive. With no tracker and no context
+// deadline the function is byte-for-byte the PR 1 fast path.
+func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID, method string, args [][]byte) (*Result, error) {
 	waves := addr.Targets(c.intn)
 	if len(waves) == 0 {
 		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
 	}
+	deadline := deadlineOf(ctx)
+	var dlNanos int64
+	if !deadline.IsZero() {
+		dlNanos = deadline.UnixNano()
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	ht := c.health.Load()
+	if ht != nil && len(waves) > 1 {
+		sortWavesByHealth(ht, waves)
+	}
 	var last *Result
+	skipped := 0
 	for _, wave := range waves {
-		f, sent, err := c.sendTo(wave, target, method, args)
+		if ht != nil {
+			wave = filterWave(ht, wave)
+			if len(wave) == 0 {
+				skipped++
+				continue
+			}
+		}
+		waveTimeout := c.Timeout
+		if !deadline.IsZero() {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}, nil
+			}
+			if remain < waveTimeout {
+				waveTimeout = remain
+			}
+		}
+		var waveStart time.Time
+		if ht != nil {
+			waveStart = time.Now()
+		}
+		f, contacted, err := c.sendTo(wave, target, method, args, dlNanos, ht)
 		if err != nil {
 			last = &Result{Code: wire.ErrUnavailable, ErrText: err.Error()}
 			continue
 		}
+		var replied []bool
+		if ht != nil {
+			replied = make([]bool, len(contacted))
+		}
 		var waveLast *Result
-		timer := getTimer(c.Timeout)
+		timer := getTimer(waveTimeout)
 		collected := 0
 		waveDone := false
 		for !waveDone {
 			select {
 			case res := <-f.ch:
 				collected++
+				if ht != nil {
+					attributeReply(ht, contacted, replied, res.From, time.Since(waveStart))
+				}
 				if !retryable(res.Code) {
 					putTimer(timer)
 					c.node.cancel(f.id)
 					return res, nil
 				}
 				waveLast = res
-				if collected >= sent {
+				if collected >= len(contacted) {
 					waveDone = true
 				}
 			case <-timer.C:
 				c.node.cancel(f.id)
+				if ht != nil {
+					// Endpoints that never answered within the wave
+					// deadline are the health signal a silent crash
+					// leaves behind.
+					for i, e := range contacted {
+						if !replied[i] {
+							ht.ReportFailure(e)
+						}
+					}
+				}
 				if waveLast == nil {
-					waveLast = &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}
+					if !deadline.IsZero() && !time.Now().Before(deadline) {
+						waveLast = &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}
+					} else {
+						waveLast = &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}
+					}
 				}
 				waveDone = true
+			case <-ctxDone:
+				putTimer(timer)
+				c.node.cancel(f.id)
+				return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ctx.Err().Error()}, nil
 			}
 		}
 		putTimer(timer)
 		last = waveLast
 	}
 	if last == nil {
-		last = &Result{Code: wire.ErrUnavailable, ErrText: "no reachable address"}
+		if skipped > 0 {
+			// Every candidate endpoint sat behind an open breaker: fail
+			// fast. The refresh/retry layer above decides what is next;
+			// half-open probes will readmit traffic shortly.
+			last = &Result{Code: wire.ErrUnavailable, ErrText: "all destinations circuit-open"}
+		} else {
+			last = &Result{Code: wire.ErrUnavailable, ErrText: "no reachable address"}
+		}
 	}
 	return last, nil
 }
 
-func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, args [][]byte) (*Future, error) {
+// filterWave drops endpoints whose breaker rejects traffic, compacting
+// in place (wave slices are freshly built by Targets, so mutation is
+// safe and allocation-free).
+func filterWave(ht *health.Tracker, wave []oa.Element) []oa.Element {
+	n := 0
+	for _, e := range wave {
+		if ht.Allow(e) {
+			wave[n] = e
+			n++
+		}
+	}
+	return wave[:n]
+}
+
+// sortWavesByHealth stably reorders failover waves so waves containing
+// the healthiest (and among equals, fastest) endpoints are tried
+// first — routing around sick replicas before they cost a timeout.
+func sortWavesByHealth(ht *health.Tracker, waves [][]oa.Element) {
+	rank := func(wave []oa.Element) (int, time.Duration) {
+		best, bestLat := int(^uint(0)>>1), time.Duration(0)
+		for _, e := range wave {
+			r, l := ht.Rank(e), ht.Latency(e)
+			if r < best || (r == best && l < bestLat) {
+				best, bestLat = r, l
+			}
+		}
+		return best, bestLat
+	}
+	sort.SliceStable(waves, func(i, j int) bool {
+		ri, li := rank(waves[i])
+		rj, lj := rank(waves[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return li < lj
+	})
+}
+
+// attributeReply credits a reply to the contacted endpoint it came
+// from. Any reply proves the endpoint alive — a "no such object" is a
+// healthy endpoint reporting a stale binding, not a sick one.
+func attributeReply(ht *health.Tracker, contacted []oa.Element, replied []bool, from oa.Element, latency time.Duration) {
+	if from == (oa.Element{}) {
+		return
+	}
+	for i, e := range contacted {
+		if e == from && !replied[i] {
+			replied[i] = true
+			ht.ReportSuccess(from, latency)
+			return
+		}
+	}
+	// Not in this wave (e.g. a late reply routed oddly); still counts
+	// as proof of life.
+	ht.ReportSuccess(from, latency)
+}
+
+func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, args [][]byte, dlNanos int64) (*Future, error) {
 	waves := addr.Targets(c.intn)
 	if len(waves) == 0 {
 		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
 	}
-	f, _, err := c.sendTo(waves[0], target, method, args)
+	f, _, err := c.sendTo(waves[0], target, method, args, dlNanos, c.health.Load())
 	return f, err
 }
 
 // sendTo transmits one request wave, returning the future and the
-// number of elements actually contacted. The marshal buffer is pooled:
-// transports copy (or frame) the payload before Send returns, so the
-// buffer is recycled as soon as the wave is on the wire.
-func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte) (*Future, int, error) {
+// elements actually contacted (the input slice itself when every send
+// succeeded, so the common case does not allocate). The marshal buffer
+// is pooled: transports copy (or frame) the payload before Send
+// returns, so the buffer is recycled as soon as the wave is on the
+// wire. Send failures are reported to ht when installed.
+func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte, dlNanos int64, ht *health.Tracker) (*Future, []oa.Element, error) {
 	f := c.node.newFuture(len(wave))
+	env := c.env
+	env.Deadline = dlNanos
 	msg := wire.Message{
 		Kind:    wire.KindRequest,
 		ID:      f.id,
 		Target:  target,
 		Method:  method,
-		Env:     c.env,
+		Env:     env,
 		ReplyTo: c.node.Address(),
 		Args:    args,
 	}
@@ -366,9 +588,13 @@ func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args
 	var lastErr error
 	for _, e := range wave {
 		if err := c.node.send(e, buf); err == nil {
+			wave[sent] = e // compact in place; wave is freshly built by Targets
 			sent++
 		} else {
 			lastErr = err
+			if ht != nil {
+				ht.ReportFailure(e)
+			}
 		}
 	}
 	wb.Put()
@@ -377,12 +603,12 @@ func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args
 		if lastErr == nil {
 			lastErr = transport.ErrUnreachable
 		}
-		return nil, 0, lastErr
+		return nil, nil, lastErr
 	}
 	if sent < len(wave) {
 		c.node.adjustPending(f.id, sent-len(wave))
 	}
-	return f, sent, nil
+	return f, wave[:sent], nil
 }
 
 // intn returns a value in [0,n) from a lock-free splitmix64 stream;

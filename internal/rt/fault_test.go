@@ -106,6 +106,60 @@ func TestPartitionAndHeal(t *testing.T) {
 	}
 }
 
+// TestPartitionHealRecoversViaResolver: with a resolver present (the
+// normal deployment shape — §3.6 Binding Agents), a healed partition
+// needs NO manual cache intervention: the failed call invalidates the
+// cached binding, the refresh path re-resolves, and the cache ends the
+// episode warm again.
+func TestPartitionHealRecoversViaResolver(t *testing.T) {
+	f := transport.NewFabric(nil)
+	defer f.Close()
+	n0, _ := NewNode(f, nil, "srv")
+	defer n0.Close()
+	n1, _ := NewNode(f, nil, "cli")
+	defer n1.Close()
+	spawnEcho(t, n0, echoLOID)
+
+	r := newMapResolver()
+	r.set(binding.Forever(echoLOID, n0.Address()))
+	c := NewCaller(n1, clientLOID, r)
+	c.Timeout = 100 * time.Millisecond
+	c.MaxRefresh = 1
+
+	// Warm the cache, then partition.
+	if res, err := c.Call(echoLOID, "Echo", []byte("warm")); err != nil || res.Code != wire.OK {
+		t.Fatalf("warm call: %v %v", res, err)
+	}
+	srvID, _ := oa.MemID(n0.Element())
+	cliID, _ := oa.MemID(n1.Element())
+	f.Block(srvID, cliID)
+	if res, err := c.Call(echoLOID, "Echo", []byte("x")); err == nil && res.Code == wire.OK {
+		t.Fatal("call succeeded across a partition")
+	}
+
+	// Heal. The next call must succeed with no manual AddBinding or
+	// cache invalidation — resolution machinery alone recovers it.
+	f.Unblock(srvID, cliID)
+	res, err := c.Call(echoLOID, "Echo", []byte("y"))
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("call after heal (no manual cache repair): %v %v", res, err)
+	}
+	// And the cache is warm again: one more call must not consult the
+	// resolver.
+	r.mu.Lock()
+	before := r.resolves + r.refreshs
+	r.mu.Unlock()
+	if res, err := c.Call(echoLOID, "Echo", []byte("z")); err != nil || res.Code != wire.OK {
+		t.Fatalf("post-heal cached call: %v %v", res, err)
+	}
+	r.mu.Lock()
+	after := r.resolves + r.refreshs
+	r.mu.Unlock()
+	if after != before {
+		t.Errorf("binding cache not recovered: resolver consulted %d more times", after-before)
+	}
+}
+
 // TestLatencyDoesNotBreakProtocol runs the full request/reply exchange
 // under simulated wide-area latency.
 func TestLatencyDoesNotBreakProtocol(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/oa"
 	"repro/internal/wire"
 )
 
@@ -17,6 +18,10 @@ type Result struct {
 	Code    wire.Code
 	ErrText string
 	Results [][]byte
+	// From is the transport element the reply arrived from (zero when
+	// unknown). Replicated calls (§4.3) use it to attribute replies to
+	// endpoints for health tracking.
+	From oa.Element
 }
 
 // Err maps the reply to an error: nil for OK, a ResultError otherwise.

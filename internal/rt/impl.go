@@ -9,7 +9,9 @@
 package rt
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/idl"
 	"repro/internal/wire"
@@ -26,6 +28,34 @@ type Invocation struct {
 	// Obj is the runtime handle of the receiving object; handlers use
 	// it to reach their own LOID and Caller.
 	Obj *Object
+	// Deadline is the caller's propagated absolute deadline (zero when
+	// the caller set none). Handlers that invoke other objects should
+	// pass inv.Ctx() to CallCtx so nested hops inherit the remaining
+	// budget instead of arming independent full timers.
+	Deadline time.Time
+}
+
+// Ctx returns a context carrying the invocation's propagated deadline
+// (context.Background-equivalent when no deadline was set). It is
+// timer-free and needs no cancel: the deadline is immutable state, not
+// a resource.
+func (inv *Invocation) Ctx() context.Context {
+	return deadlineCtx{t: inv.Deadline}
+}
+
+// deadlineCtx is an allocation-light context.Context carrying only an
+// absolute deadline. Unlike context.WithDeadline it arms no timer and
+// has nothing to cancel, so it can be minted per invocation for free.
+type deadlineCtx struct{ t time.Time }
+
+func (d deadlineCtx) Deadline() (time.Time, bool) { return d.t, !d.t.IsZero() }
+func (d deadlineCtx) Done() <-chan struct{}       { return nil }
+func (d deadlineCtx) Value(any) any               { return nil }
+func (d deadlineCtx) Err() error {
+	if !d.t.IsZero() && !time.Now().Before(d.t) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // Arg returns argument i or an error mentioning the method, keeping

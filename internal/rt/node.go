@@ -209,7 +209,13 @@ func (n *Node) receive(data []byte) {
 		}
 		s.mu.Unlock()
 		if ok {
-			f.complete(&Result{Code: msg.Code, ErrText: msg.ErrText, Results: msg.Args})
+			res := &Result{Code: msg.Code, ErrText: msg.ErrText, Results: msg.Args}
+			if len(msg.ReplyTo.Elements) > 0 {
+				// Replies carry the responder's address so the caller
+				// can attribute them to an endpoint (health tracking).
+				res.From = msg.ReplyTo.Elements[0]
+			}
+			f.complete(res)
 		}
 	case wire.KindRequest, wire.KindOneWay:
 		v, ok := n.objects.Load(msg.Target.ID())
@@ -234,6 +240,9 @@ func (n *Node) receive(data []byte) {
 
 func (n *Node) replyTo(req *wire.Message, code wire.Code, errText string, results [][]byte) {
 	rep := req.Reply(code, errText, results)
+	// Stamp the reply with this node's address: the caller uses it to
+	// attribute the reply to a concrete endpoint for health tracking.
+	rep.ReplyTo = n.addr
 	wb := wire.GetBuf()
 	buf := rep.AppendMarshal(wb.B[:0])
 	wb.B = buf

@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/idl"
 	"repro/internal/loid"
@@ -98,6 +99,15 @@ func (o *Object) serve(msg *wire.Message) {
 	if o.cReq != nil {
 		o.cReq.Inc()
 	}
+	// A request whose propagated deadline already expired is not worth
+	// running: the caller has given up, and the answer — if one is
+	// still listening — is definitive either way.
+	if msg.Env.Deadline != 0 && time.Now().UnixNano() > msg.Env.Deadline {
+		if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
+			o.node.replyTo(msg, wire.ErrDeadlineExceeded, "deadline expired before dispatch", nil)
+		}
+		return
+	}
 	code, errText, results := o.safeDispatch(msg)
 	if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
 		o.node.replyTo(msg, code, errText, results)
@@ -165,6 +175,9 @@ func (o *Object) dispatch(msg *wire.Message) (wire.Code, string, [][]byte) {
 		return wire.OK, "", nil
 	}
 	inv := &Invocation{Method: msg.Method, Args: msg.Args, Env: msg.Env, Obj: o}
+	if msg.Env.Deadline != 0 {
+		inv.Deadline = time.Unix(0, msg.Env.Deadline)
+	}
 	results, err := o.impl.Dispatch(inv)
 	if err != nil {
 		if _, ok := err.(*NoSuchMethodError); ok {

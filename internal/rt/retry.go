@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures the synchronous call retry loop (Call /
+// CallCtx). The zero value preserves the historical behaviour:
+// MaxRefresh+1 delivery attempts with no backoff between them.
+type RetryPolicy struct {
+	// MaxAttempts bounds total delivery attempts per call, including
+	// the first (0 = legacy: the caller's MaxRefresh+1).
+	MaxAttempts int
+	// BaseBackoff is the backoff ceiling before the first retry; each
+	// subsequent retry doubles the ceiling up to MaxBackoff, and the
+	// actual sleep is drawn uniformly from [0, ceiling] ("full
+	// jitter", which decorrelates retry storms). 0 disables backoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff ceiling (default 1s when BaseBackoff
+	// is set).
+	MaxBackoff time.Duration
+}
+
+// backoff returns the jittered sleep before retry number `retry`
+// (0-based), using rnd as a source of [0,n) randomness.
+func (p RetryPolicy) backoff(retry int, rnd func(int) int) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = time.Second
+	}
+	ceiling := p.BaseBackoff
+	for i := 0; i < retry && ceiling < maxB; i++ {
+		ceiling *= 2
+	}
+	if ceiling > maxB {
+		ceiling = maxB
+	}
+	if ceiling <= 0 {
+		return 0
+	}
+	return time.Duration(rnd(int(ceiling) + 1))
+}
+
+// RetryBudget is a token bucket that bounds the RATE of retries
+// (first attempts are free). Under a partial outage every caller
+// retrying MaxAttempts times multiplies offered load exactly when the
+// system can least afford it; a shared budget lets a few calls retry
+// while the rest fail fast. A nil *RetryBudget means "unlimited".
+//
+// Tokens refill continuously at RefillPerSec up to Capacity; each
+// retry takes one token or, if the bucket is empty, is denied.
+type RetryBudget struct {
+	mu       sync.Mutex
+	tokens   float64
+	capacity float64
+	rate     float64 // tokens per second
+	last     time.Time
+}
+
+// NewRetryBudget builds a budget holding at most capacity tokens,
+// refilling at refillPerSec. The bucket starts full.
+func NewRetryBudget(capacity, refillPerSec float64) *RetryBudget {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if refillPerSec < 0 {
+		refillPerSec = 0
+	}
+	return &RetryBudget{
+		tokens:   capacity,
+		capacity: capacity,
+		rate:     refillPerSec,
+		last:     time.Now(),
+	}
+}
+
+// Take consumes one retry token, reporting false when the budget is
+// exhausted (the caller should give up rather than amplify load).
+func (b *RetryBudget) Take() bool {
+	if b == nil {
+		return true
+	}
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sleepBackoff sleeps for d but returns early (false) if the deadline
+// would pass first — there is no point finishing a backoff the call
+// cannot use.
+func sleepBackoff(d time.Duration, deadline time.Time) bool {
+	if d <= 0 {
+		return true
+	}
+	if !deadline.IsZero() {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		if d >= remain {
+			time.Sleep(remain)
+			return false
+		}
+	}
+	time.Sleep(d)
+	return true
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/loid"
+	"repro/internal/wire"
+)
+
+// workersOf filters a crash's lost LOIDs down to worker instances —
+// hosts also run class objects, which answer a different interface.
+func workersOf(s *Sim, lost []loid.LOID) []loid.LOID {
+	var out []loid.LOID
+	for _, l := range lost {
+		for _, f := range s.Flat {
+			if f.SameObject(l) {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestCrashRecoveryThroughMagistrate is the deterministic core of the
+// chaos story: a host crash loses its residents, and once the
+// Magistrate is told, plain stale-binding refresh re-activates them on
+// a surviving host — no client-side intervention.
+func TestCrashRecoveryThroughMagistrate(t *testing.T) {
+	s, err := Build(Config{
+		HostsPerJurisdiction: 2,
+		ObjectsPerClass:      4,
+		CallTimeout:          200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cli := s.Clients[0]
+	for _, l := range s.Flat {
+		if res, err := cli.Call(l, "Work"); err != nil || res.Code != wire.OK {
+			t.Fatalf("warm call to %v: %v %v", l, res, err)
+		}
+	}
+
+	// Crash host 1, not host 0: placement slot 0 carries the class
+	// object, whose volatile logical table is not (yet) crash-safe.
+	allLost, err := s.CrashHost(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := workersOf(s, allLost)
+	if len(lost) == 0 {
+		t.Fatal("host 1 was running no workers; round-robin placement should have given it some")
+	}
+	// Calls to the lost objects fail while the magistrate is unaware —
+	// refresh keeps returning the stale location.
+	res, err := cli.Call(lost[0], "Work")
+	if err == nil && res.Code == wire.OK {
+		t.Fatal("call to crashed object succeeded with no recovery in play")
+	}
+
+	// Detection: tell the magistrate. Every lost object must come back
+	// on the surviving host via the ordinary refresh path.
+	s.Sys.Jurisdictions[0].MagistrateImpl().HostFailed(s.Sys.Jurisdictions[0].Hosts[1])
+	for _, l := range lost {
+		if res, err := cli.Call(l, "Work"); err != nil || res.Code != wire.OK {
+			t.Fatalf("call to %v after HostFailed: %v %v", l, res, err)
+		}
+	}
+
+	// Reboot the host; the whole population stays reachable.
+	if err := s.RestartHost(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s.Flat {
+		if res, err := cli.Call(l, "Work"); err != nil || res.Code != wire.OK {
+			t.Fatalf("call to %v after restart: %v %v", l, res, err)
+		}
+	}
+}
+
+// TestHealthDetectorClosesLoop: with the shared tracker installed and
+// the detector running, nobody has to tell the Magistrate anything —
+// client-side breaker evidence does it.
+func TestHealthDetectorClosesLoop(t *testing.T) {
+	s, err := Build(Config{
+		HostsPerJurisdiction: 2,
+		ObjectsPerClass:      4,
+		Clients:              2,
+		CallTimeout:          100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tr := s.EnableHealth(health.Config{FailureThreshold: 2, OpenDuration: 250 * time.Millisecond})
+	stopDet := s.StartHealthDetector(tr, 20*time.Millisecond)
+	defer stopDet()
+	cli := s.Clients[0]
+	for _, l := range s.Flat {
+		if res, err := cli.Call(l, "Work"); err != nil || res.Code != wire.OK {
+			t.Fatalf("warm call: %v %v", res, err)
+		}
+	}
+
+	allLost, err := s.CrashHost(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := workersOf(s, allLost)
+	if len(lost) == 0 {
+		t.Fatal("host 1 ran no workers")
+	}
+	// Burn a few calls to feed the breaker (each pays one wave
+	// timeout), then the detector flips the records and calls recover.
+	deadlineAt := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadlineAt) {
+		if res, err := cli.Call(lost[0], "Work"); err == nil && res.Code == wire.OK {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("breaker-driven detection never recovered the lost object")
+	}
+	for _, l := range lost {
+		if res, err := cli.Call(l, "Work"); err != nil || res.Code != wire.OK {
+			t.Fatalf("call to %v after detection: %v %v", l, res, err)
+		}
+	}
+	if err := s.RestartHost(0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,13 +45,32 @@ type Fabric struct {
 	lossBits atomic.Uint64 // math.Float64bits of the loss probability
 	nBlocked atomic.Int64  // fast "any partitions?" check
 
-	mu      sync.Mutex // guards blocked and rng (slow paths only)
-	blocked map[[2]uint64]bool
-	rng     *rand.Rand
+	// Chaos knobs (all off by default; each guarded by an atomic "is it
+	// on at all?" check so the fault-free fast path pays only loads).
+	nLinks      atomic.Int64  // fast "any per-link config?" check
+	dupBits     atomic.Uint64 // math.Float64bits of duplication probability
+	reorderBits atomic.Uint64 // math.Float64bits of reorder probability
+	reorderMax  atomic.Int64  // max extra delay a reordered message gets
 
-	reg      *metrics.Registry
-	cSent    *metrics.Counter
-	cDropped *metrics.Counter
+	mu      sync.Mutex // guards blocked, links and rng (slow paths only)
+	blocked map[[2]uint64]bool
+	links   map[[2]uint64]linkCfg
+
+	rng *rand.Rand
+
+	reg        *metrics.Registry
+	cSent      *metrics.Counter
+	cDropped   *metrics.Counter
+	cDup       *metrics.Counter
+	cReordered *metrics.Counter
+	cCrashDrop *metrics.Counter
+}
+
+// linkCfg is per-link chaos: extra one-way latency and loss on one
+// unordered endpoint pair.
+type linkCfg struct {
+	latency time.Duration
+	loss    float64
 }
 
 // NewFabric builds an empty fabric. Metrics are recorded into reg;
@@ -61,11 +80,15 @@ func NewFabric(reg *metrics.Registry) *Fabric {
 		reg = metrics.Nop
 	}
 	return &Fabric{
-		blocked:  make(map[[2]uint64]bool),
-		rng:      rand.New(rand.NewSource(1)),
-		reg:      reg,
-		cSent:    reg.Counter("net/sent"),
-		cDropped: reg.Counter("net/dropped"),
+		blocked:    make(map[[2]uint64]bool),
+		links:      make(map[[2]uint64]linkCfg),
+		rng:        rand.New(rand.NewSource(1)),
+		reg:        reg,
+		cSent:      reg.Counter("net/sent"),
+		cDropped:   reg.Counter("net/dropped"),
+		cDup:       reg.Counter("net/duplicated"),
+		cReordered: reg.Counter("net/reordered"),
+		cCrashDrop: reg.Counter("net/crash-dropped"),
 	}
 }
 
@@ -112,6 +135,93 @@ func pairKey(a, b uint64) [2]uint64 {
 	return [2]uint64{a, b}
 }
 
+// SetLinkLatency adds per-link one-way latency to the (a,b) pair, on
+// top of (taking the max with) the fabric-wide latency. Zero removes
+// the latency override but keeps any per-link loss.
+func (f *Fabric) SetLinkLatency(a, b uint64, d time.Duration) {
+	f.setLink(a, b, func(lc *linkCfg) { lc.latency = d })
+}
+
+// SetLinkLoss sets a loss probability for the (a,b) pair only.
+func (f *Fabric) SetLinkLoss(a, b uint64, p float64) {
+	f.setLink(a, b, func(lc *linkCfg) { lc.loss = p })
+}
+
+// ClearLink removes all per-link chaos for the (a,b) pair.
+func (f *Fabric) ClearLink(a, b uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.links[pairKey(a, b)]; ok {
+		delete(f.links, pairKey(a, b))
+		f.nLinks.Add(-1)
+	}
+}
+
+func (f *Fabric) setLink(a, b uint64, mod func(*linkCfg)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := pairKey(a, b)
+	lc, existed := f.links[k]
+	mod(&lc)
+	if lc == (linkCfg{}) {
+		if existed {
+			delete(f.links, k)
+			f.nLinks.Add(-1)
+		}
+		return
+	}
+	f.links[k] = lc
+	if !existed {
+		f.nLinks.Add(1)
+	}
+}
+
+// SetDuplicate sets a probability in [0,1] that any delivered message
+// is delivered twice — the Legion protocol must tolerate at-least-once
+// delivery.
+func (f *Fabric) SetDuplicate(p float64) {
+	f.dupBits.Store(math.Float64bits(p))
+}
+
+// SetReorder makes a fraction p of messages arrive up to maxDelay
+// late, i.e. after messages sent later — exercising correlation-id
+// matching under out-of-order delivery.
+func (f *Fabric) SetReorder(p float64, maxDelay time.Duration) {
+	f.reorderMax.Store(int64(maxDelay))
+	f.reorderBits.Store(math.Float64bits(p))
+}
+
+// Crash marks the endpoint named by id as crashed: traffic to and from
+// it is SILENTLY dropped (counted in net/crash-dropped), exactly like
+// a machine that lost power — senders learn nothing until their reply
+// timers expire. It reports whether the endpoint exists.
+func (f *Fabric) Crash(id uint64) bool {
+	v, ok := f.endpoints.Load(id)
+	if !ok {
+		return false
+	}
+	v.(*memEndpoint).down.Store(true)
+	return true
+}
+
+// Restart brings a crashed endpoint back. The endpoint keeps its
+// element identity (same machine, rebooted); whatever state its node
+// held is the node's problem — the fabric only restores reachability.
+func (f *Fabric) Restart(id uint64) bool {
+	v, ok := f.endpoints.Load(id)
+	if !ok {
+		return false
+	}
+	v.(*memEndpoint).down.Store(false)
+	return true
+}
+
+// Crashed reports whether the endpoint named by id is currently down.
+func (f *Fabric) Crashed(id uint64) bool {
+	v, ok := f.endpoints.Load(id)
+	return ok && v.(*memEndpoint).down.Load()
+}
+
 // NewEndpoint allocates an endpoint with the next fabric id.
 func (f *Fabric) NewEndpoint() (Endpoint, error) {
 	if f.closed.Load() {
@@ -152,6 +262,13 @@ func (f *Fabric) SendFrom(from uint64, to oa.Element, data []byte) error {
 		return ErrUnreachable
 	}
 	ep := v.(*memEndpoint)
+	if ep.down.Load() {
+		// A crashed machine answers nothing — not even an ICMP-style
+		// error. Senders discover the crash only by timeout, which is
+		// precisely the signal the health layer consumes.
+		f.cCrashDrop.Inc()
+		return nil
+	}
 	if from != 0 && f.nBlocked.Load() > 0 {
 		f.mu.Lock()
 		blocked := f.blocked[pairKey(from, id)]
@@ -161,6 +278,23 @@ func (f *Fabric) SendFrom(from uint64, to oa.Element, data []byte) error {
 		}
 	}
 	f.cSent.Inc()
+	latency := time.Duration(f.latency.Load())
+	if f.nLinks.Load() > 0 {
+		f.mu.Lock()
+		lc, ok := f.links[pairKey(from, id)]
+		var drop bool
+		if ok && lc.loss > 0 {
+			drop = f.rng.Float64() < lc.loss
+		}
+		f.mu.Unlock()
+		if drop {
+			f.cDropped.Inc()
+			return nil
+		}
+		if ok && lc.latency > latency {
+			latency = lc.latency
+		}
+	}
 	if p := math.Float64frombits(f.lossBits.Load()); p > 0 {
 		f.mu.Lock()
 		drop := f.rng.Float64() < p
@@ -170,7 +304,39 @@ func (f *Fabric) SendFrom(from uint64, to oa.Element, data []byte) error {
 			return nil // silent loss, like the real network
 		}
 	}
-	if latency := time.Duration(f.latency.Load()); latency > 0 {
+	if p := math.Float64frombits(f.reorderBits.Load()); p > 0 {
+		f.mu.Lock()
+		hit := f.rng.Float64() < p
+		var extra time.Duration
+		if hit {
+			if maxD := time.Duration(f.reorderMax.Load()); maxD > 0 {
+				extra = time.Duration(f.rng.Int63n(int64(maxD))) + time.Microsecond
+			} else {
+				extra = time.Microsecond
+			}
+		}
+		f.mu.Unlock()
+		if hit {
+			// Delaying a random subset makes them arrive after
+			// messages sent later: out-of-order delivery.
+			f.cReordered.Inc()
+			latency += extra
+		}
+	}
+	if p := math.Float64frombits(f.dupBits.Load()); p > 0 {
+		f.mu.Lock()
+		dup := f.rng.Float64() < p
+		f.mu.Unlock()
+		if dup {
+			// At-least-once delivery: a second copy arrives slightly
+			// after the first.
+			f.cDup.Inc()
+			fb := memBufPool.Get().(*frameBuf)
+			fb.b = append(fb.b[:0], data...)
+			time.AfterFunc(latency+50*time.Microsecond, func() { ep.enqueue(fb) })
+		}
+	}
+	if latency > 0 {
 		// Deferred delivery: copy so the sender may reuse its buffer; the
 		// pooled copy is recycled by the receiving pump once the handler
 		// returns.
@@ -215,6 +381,7 @@ type memEndpoint struct {
 	fabric  *Fabric
 	id      uint64
 	handler atomic.Pointer[Handler]
+	down    atomic.Bool // crashed: all traffic silently dropped
 
 	queue chan *frameBuf
 	done  chan struct{}
@@ -224,6 +391,12 @@ type memEndpoint struct {
 func (e *memEndpoint) Element() oa.Element { return oa.MemElement(e.id) }
 
 func (e *memEndpoint) Send(to oa.Element, data []byte) error {
+	if e.down.Load() {
+		// A crashed machine sends nothing either; anything a stale
+		// goroutine still tries to transmit vanishes.
+		e.fabric.cCrashDrop.Inc()
+		return nil
+	}
 	return e.fabric.SendFrom(e.id, to, data)
 }
 
@@ -232,6 +405,12 @@ func (e *memEndpoint) SetHandler(h Handler) {
 }
 
 func (e *memEndpoint) enqueue(fb *frameBuf) {
+	if e.down.Load() {
+		// Delivery (e.g. a delayed message) raced a crash: drop it.
+		e.fabric.cCrashDrop.Inc()
+		putMemBuf(fb)
+		return
+	}
 	select {
 	case e.queue <- fb:
 	case <-e.done:

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/oa"
 )
 
@@ -63,6 +64,9 @@ type TCP struct {
 	// ListenHost is the host/IP to bind listeners on. Defaults to
 	// 127.0.0.1, which keeps tests and examples self-contained.
 	ListenHost string
+	// Registry receives transport metrics (net/tcp_dropped: outbound
+	// frames lost when a destination's connection died). Nil discards.
+	Registry *metrics.Registry
 }
 
 // NewEndpoint starts a listener on an ephemeral port.
@@ -70,6 +74,10 @@ func (t *TCP) NewEndpoint() (Endpoint, error) {
 	host := t.ListenHost
 	if host == "" {
 		host = "127.0.0.1"
+	}
+	reg := t.Registry
+	if reg == nil {
+		reg = metrics.Nop
 	}
 	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
@@ -82,10 +90,12 @@ func (t *TCP) NewEndpoint() (Endpoint, error) {
 		return nil, err
 	}
 	ep := &tcpEndpoint{
-		ln:    ln,
-		elem:  elem,
-		conns: make(map[string]*tcpConn),
-		done:  make(chan struct{}),
+		ln:       ln,
+		elem:     elem,
+		conns:    make(map[string]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+		cDropped: reg.Counter("net/tcp_dropped"),
 	}
 	go ep.acceptLoop()
 	return ep, nil
@@ -101,6 +111,17 @@ type tcpEndpoint struct {
 	cmu   sync.Mutex
 	conns map[string]*tcpConn
 
+	// amu guards accepted, the inbound sockets currently being read;
+	// Close tears them down so a closed endpoint goes fully silent
+	// (without this, peers of a dead endpoint would keep writing into
+	// still-open sockets and never learn of the death).
+	amu      sync.Mutex
+	accepted map[net.Conn]struct{}
+
+	// cDropped counts outbound frames lost because a destination's
+	// connection died with frames queued or mid-batch (net/tcp_dropped).
+	cDropped *metrics.Counter
+
 	done chan struct{}
 	once sync.Once
 }
@@ -110,8 +131,31 @@ type tcpEndpoint struct {
 type tcpConn struct {
 	hostport string
 
-	mu sync.Mutex
-	w  *tcpWriter // nil when no live connection
+	mu      sync.Mutex
+	w       *tcpWriter // nil when no live connection
+	dropped uint64     // frames lost when a writer died; surfaced on the next Send
+}
+
+// noteDropped records n lost frames against the destination: they are
+// counted in net/tcp_dropped immediately and reported to the next Send
+// as an error, so the loss is never silent.
+func (e *tcpEndpoint) noteDropped(tc *tcpConn, n uint64) {
+	if n == 0 {
+		return
+	}
+	e.cDropped.Add(n)
+	tc.mu.Lock()
+	tc.dropped += n
+	tc.mu.Unlock()
+}
+
+// takeDropped consumes the pending drop report.
+func (tc *tcpConn) takeDropped() uint64 {
+	tc.mu.Lock()
+	n := tc.dropped
+	tc.dropped = 0
+	tc.mu.Unlock()
+	return n
 }
 
 // tcpWriter is one connection generation: a socket, a bounded frame
@@ -183,12 +227,20 @@ func (e *tcpEndpoint) acceptLoop() {
 			continue
 		}
 		backoff = time.Millisecond
+		e.amu.Lock()
+		e.accepted[conn] = struct{}{}
+		e.amu.Unlock()
 		go e.readLoop(conn)
 	}
 }
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		e.amu.Lock()
+		delete(e.accepted, conn)
+		e.amu.Unlock()
+	}()
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -242,6 +294,14 @@ func (e *tcpEndpoint) Send(to oa.Element, data []byte) error {
 	fb.b = b
 
 	tc := e.connFor(hostport)
+	if n := tc.takeDropped(); n > 0 {
+		// A previous writer to this destination died with frames in
+		// hand. Surfacing the loss here (instead of dropping silently)
+		// lets the rt layer treat the destination as unavailable and
+		// retransmit; this frame is sacrificed to deliver the report.
+		putFrame(fb)
+		return fmt.Errorf("%w: %d frame(s) to %s lost on connection failure", ErrUnreachable, n, hostport)
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		w, err := e.writerFor(tc)
 		if err != nil {
@@ -317,12 +377,17 @@ func (e *tcpEndpoint) writeLoop(tc *tcpConn, w *tcpWriter) {
 				err = bw.Flush()
 			}
 			if err != nil {
+				// The batch's frames were consumed and may not have
+				// reached the peer (the buffered writer died mid-batch):
+				// account them as dropped — TCP gives no delivery
+				// receipt, and an undercounted loss is a silent one.
+				e.noteDropped(tc, uint64(batched))
 				if !redialed {
 					redialed = true
 					if conn, derr := net.Dial("tcp", tc.hostport); derr == nil {
 						w.swapConn(conn)
 						bw = bufio.NewWriterSize(conn, 64<<10)
-						continue // frames already consumed are lost; keep draining
+						continue // keep draining on the fresh socket
 					}
 				}
 				e.failWriter(tc, w)
@@ -346,8 +411,10 @@ func writeFrame(bw *bufio.Writer, fb *frameBuf) error {
 }
 
 // failWriter retires a dead connection generation: unhooks it so the
-// next Send redials, closes the socket, and drops queued frames (the
-// transport permits silent loss in transit).
+// next Send redials, closes the socket, and drains queued frames. The
+// drained frames cannot be delivered, but the loss is NOT silent: each
+// is counted in net/tcp_dropped and reported to the destination's next
+// Send as an error, so callers learn the channel lost traffic.
 func (e *tcpEndpoint) failWriter(tc *tcpConn, w *tcpWriter) {
 	tc.mu.Lock()
 	if tc.w == w {
@@ -356,11 +423,14 @@ func (e *tcpEndpoint) failWriter(tc *tcpConn, w *tcpWriter) {
 	tc.mu.Unlock()
 	w.kill()
 	w.closeConn()
+	var lost uint64
 	for {
 		select {
 		case fb := <-w.ch:
 			putFrame(fb)
+			lost++
 		default:
+			e.noteDropped(tc, lost)
 			return
 		}
 	}
@@ -381,6 +451,11 @@ func (e *tcpEndpoint) Close() error {
 	e.once.Do(func() {
 		close(e.done)
 		e.ln.Close()
+		e.amu.Lock()
+		for conn := range e.accepted {
+			conn.Close()
+		}
+		e.amu.Unlock()
 		e.cmu.Lock()
 		for _, tc := range e.conns {
 			tc.mu.Lock()

@@ -50,7 +50,32 @@ const (
 	// ErrBadRequest: the message was malformed or arguments failed to
 	// decode.
 	ErrBadRequest Code = 6
+	// ErrDeadlineExceeded: the invocation's propagated deadline expired
+	// before the method could run (or before a reply arrived). The
+	// answer is definitive — retrying cannot help, the budget is gone.
+	ErrDeadlineExceeded Code = 7
 )
+
+// Retryable reports reply codes that mean "try another replica or a
+// refreshed binding" rather than a definitive answer (§4.1.4, §4.3).
+// Every Code constant must appear here explicitly: a new code that is
+// not classified is a bug, and the table test in wire_test.go enforces
+// the enumeration so an addition cannot silently default wrong.
+func Retryable(c Code) bool {
+	switch c {
+	case ErrNoSuchObject, ErrUnavailable:
+		// The endpoint no longer hosts the target / could not be
+		// reached: another replica or a refreshed binding may succeed.
+		return true
+	case OK, ErrApp, ErrNoSuchMethod, ErrDenied, ErrBadRequest, ErrDeadlineExceeded:
+		// The target answered (or the budget is spent): definitive.
+		return false
+	default:
+		// Unknown codes are treated as definitive so a protocol
+		// extension cannot cause retry storms against old peers.
+		return false
+	}
+}
 
 func (c Code) String() string {
 	switch c {
@@ -68,6 +93,8 @@ func (c Code) String() string {
 		return "unavailable"
 	case ErrBadRequest:
 		return "bad-request"
+	case ErrDeadlineExceeded:
+		return "deadline-exceeded"
 	default:
 		return fmt.Sprintf("code%d", uint16(c))
 	}
@@ -80,6 +107,11 @@ type Env struct {
 	Responsible loid.LOID
 	Security    loid.LOID
 	Calling     loid.LOID
+	// Deadline is the invocation's absolute deadline in Unix
+	// nanoseconds (0 = none). It rides the environment so nested calls
+	// made on behalf of this invocation inherit the remaining budget
+	// instead of each hop arming an independent full timer.
+	Deadline int64
 }
 
 // Message is one Legion protocol unit.
@@ -101,7 +133,7 @@ type Message struct {
 
 const (
 	magic   = 0x4C47 // "LG"
-	version = 1
+	version = 2 // v2 added Env.Deadline
 )
 
 // maxArgs bounds the argument vector; generous but prevents a corrupt
@@ -162,6 +194,7 @@ func (m *Message) AppendMarshal(dst []byte) []byte {
 	dst = m.Env.Responsible.Marshal(dst)
 	dst = m.Env.Security.Marshal(dst)
 	dst = m.Env.Calling.Marshal(dst)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Env.Deadline))
 	dst = m.ReplyTo.Marshal(dst)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Code))
 	dst = appendString(dst, m.ErrText)
@@ -208,6 +241,11 @@ func Unmarshal(src []byte) (*Message, error) {
 	if m.Env.Calling, src, err = loid.Unmarshal(src); err != nil {
 		return nil, fmt.Errorf("wire: env: %w", err)
 	}
+	if len(src) < 8 {
+		return nil, fmt.Errorf("wire: short deadline")
+	}
+	m.Env.Deadline = int64(binary.BigEndian.Uint64(src[:8]))
+	src = src[8:]
 	if m.ReplyTo, src, err = oa.Unmarshal(src); err != nil {
 		return nil, fmt.Errorf("wire: reply-to: %w", err)
 	}
