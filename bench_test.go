@@ -23,6 +23,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/security"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -462,20 +463,44 @@ func BenchmarkParallelInvoke(b *testing.B) {
 	b.Run("mem", func(b *testing.B) {
 		f := transport.NewFabric(nil)
 		defer f.Close()
-		benchParallelInvoke(b, f)
+		benchParallelInvoke(b, f, nil)
 	})
 	b.Run("tcp", func(b *testing.B) {
-		benchParallelInvoke(b, &transport.TCP{})
+		benchParallelInvoke(b, &transport.TCP{}, nil)
 	})
 }
 
-func benchParallelInvoke(b *testing.B, tr transport.Transport) {
+// BenchmarkParallelInvokeTraced is BenchmarkParallelInvoke with the
+// distributed tracer installed at the default 1-in-64 sampling — the
+// configuration legiond's -debug-addr turns on. The acceptance bar is
+// that it stays within 5% of the untraced numbers (EXPERIMENTS.md
+// records both): an unsampled call pays one atomic load plus one
+// atomic add, and the sampled 1-in-64 pays span assembly.
+func BenchmarkParallelInvokeTraced(b *testing.B) {
+	tracer := func() *trace.Tracer {
+		return trace.New(trace.Config{SampleEvery: trace.DefaultSampleEvery})
+	}
+	b.Run("mem", func(b *testing.B) {
+		f := transport.NewFabric(nil)
+		defer f.Close()
+		benchParallelInvoke(b, f, tracer())
+	})
+	b.Run("tcp", func(b *testing.B) {
+		benchParallelInvoke(b, &transport.TCP{}, tracer())
+	})
+}
+
+func benchParallelInvoke(b *testing.B, tr transport.Transport, tracer *trace.Tracer) {
 	server, err := rt.NewNode(tr, nil, "bench-srv")
 	mustNoErr(b, err)
 	defer server.Close()
 	clientNode, err := rt.NewNode(tr, nil, "bench-cli")
 	mustNoErr(b, err)
 	defer clientNode.Close()
+	if tracer != nil {
+		server.SetTracer(tracer)
+		clientNode.SetTracer(tracer)
+	}
 
 	target := loid.New(700, 1, loid.DeriveKey("bench/parallel"))
 	impl := &rt.Behavior{

@@ -24,8 +24,12 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/debughttp"
 	"repro/internal/demo"
+	"repro/internal/health"
 	"repro/internal/implreg"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -39,6 +43,8 @@ func main() {
 	seq := flag.Uint64("seq", 100, "host: unique host sequence number")
 	magIdx := flag.Int("magistrate", 0, "host: index of the jurisdiction to join")
 	vault := flag.String("vault", "", "core: directory for on-disk jurisdiction storage (default: in-memory)")
+	debugAddr := flag.String("debug-addr", "", "serve the observability surface (metrics, traces, health, pprof) on this address; empty disables it")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "trace one invocation in N (1 = every invocation); effective with -debug-addr")
 	flag.Parse()
 
 	impls := implreg.NewRegistry()
@@ -46,19 +52,39 @@ func main() {
 
 	switch *mode {
 	case "core":
-		sys, err := core.Boot(core.Options{
+		opts := core.Options{
 			Transport:            &transport.TCP{},
+			Registry:             metrics.NewRegistry(),
 			Impls:                impls,
 			Jurisdictions:        *jurisdictions,
 			HostsPerJurisdiction: *hosts,
 			LeafAgents:           *leaves,
 			AgentFanout:          *fanout,
 			VaultDir:             *vault,
-		})
+		}
+		if *debugAddr != "" {
+			// The debug surface implies observability: install a tracer
+			// and a shared health tracker so it has something to show.
+			opts.Tracer = trace.New(trace.Config{SampleEvery: *traceSample})
+			opts.Health = health.NewTracker(health.Config{}, opts.Registry)
+		}
+		sys, err := core.Boot(opts)
 		if err != nil {
 			log.Fatalf("legiond: boot: %v", err)
 		}
 		defer sys.Close()
+		if *debugAddr != "" {
+			bound, stopDebug, err := debughttp.Serve(*debugAddr, debughttp.Options{
+				Registry: opts.Registry,
+				Tracer:   opts.Tracer,
+				Health:   opts.Health,
+			})
+			if err != nil {
+				log.Fatalf("legiond: debug listener: %v", err)
+			}
+			defer stopDebug()
+			fmt.Printf("legiond: debug surface at http://%s/ (tracing 1 in %d)\n", bound, *traceSample)
+		}
 		if err := sys.WriteNetInfo(*info); err != nil {
 			log.Fatalf("legiond: write contact sheet: %v", err)
 		}

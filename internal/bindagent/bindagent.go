@@ -10,6 +10,7 @@
 package bindagent
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -112,7 +113,7 @@ func (a *Agent) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		b, err := a.getBinding(target)
+		b, err := a.getBinding(inv.Ctx(), target)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +127,7 @@ func (a *Agent) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		b, err := a.rebindStale(stale)
+		b, err := a.rebindStale(inv.Ctx(), stale)
 		if err != nil {
 			return nil, err
 		}
@@ -167,21 +168,23 @@ func (a *Agent) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 	return nil, &rt.NoSuchMethodError{Method: inv.Method}
 }
 
-// getBinding implements GetBinding(LOID) (§4.1.2).
-func (a *Agent) getBinding(target loid.LOID) (binding.Binding, error) {
+// getBinding implements GetBinding(LOID) (§4.1.2). ctx carries the
+// original invocation's remaining deadline and trace identity through
+// the resolution chain.
+func (a *Agent) getBinding(ctx context.Context, target loid.LOID) (binding.Binding, error) {
 	if b, ok := a.cache.Get(target); ok {
 		return b, nil
 	}
 	if !a.parent.IsNil() {
 		// Combining tree: forward the miss upward.
-		b, err := a.callBinding(a.parentAddr, a.parent, "GetBinding", wire.LOID(target))
+		b, err := a.callBinding(ctx, a.parentAddr, a.parent, "GetBinding", wire.LOID(target))
 		if err != nil {
 			return binding.Binding{}, err
 		}
 		a.cache.Add(b)
 		return b, nil
 	}
-	b, err := a.resolveViaClass(target)
+	b, err := a.resolveViaClass(ctx, target)
 	if err != nil {
 		return binding.Binding{}, err
 	}
@@ -193,7 +196,7 @@ func (a *Agent) getBinding(target loid.LOID) (binding.Binding, error) {
 // employing the Binding Agent can explicitly request that a binding be
 // refreshed; it will typically do so when the binding that it has
 // doesn't work."
-func (a *Agent) rebindStale(stale binding.Binding) (binding.Binding, error) {
+func (a *Agent) rebindStale(ctx context.Context, stale binding.Binding) (binding.Binding, error) {
 	a.cache.InvalidateBinding(stale)
 	// §3.6: only "if the Object Address in the binding parameter
 	// matches the one in the Binding Agent's local cache [might it]
@@ -204,7 +207,7 @@ func (a *Agent) rebindStale(stale binding.Binding) (binding.Binding, error) {
 		return b, nil
 	}
 	if !a.parent.IsNil() {
-		b, err := a.callBinding(a.parentAddr, a.parent, "RebindStale", wire.Binding(stale))
+		b, err := a.callBinding(ctx, a.parentAddr, a.parent, "RebindStale", wire.Binding(stale))
 		if err != nil {
 			return binding.Binding{}, err
 		}
@@ -214,27 +217,27 @@ func (a *Agent) rebindStale(stale binding.Binding) (binding.Binding, error) {
 	// Root agent: ask the responsible class for a better binding.
 	target := stale.LOID
 	if target.IsClass() {
-		b, err := a.refreshClassBinding(target, stale)
+		b, err := a.refreshClassBinding(ctx, target, stale)
 		if err != nil {
 			return binding.Binding{}, err
 		}
 		a.cache.Add(b)
 		return b, nil
 	}
-	clsB, err := a.resolveClass(target.ClassLOID(), 0)
+	clsB, err := a.resolveClass(ctx, target.ClassLOID(), 0)
 	if err != nil {
 		return binding.Binding{}, err
 	}
-	b, err := a.callBinding(clsB.Address, clsB.LOID, "RefreshBinding", wire.Binding(stale))
+	b, err := a.callBinding(ctx, clsB.Address, clsB.LOID, "RefreshBinding", wire.Binding(stale))
 	if err != nil {
 		// The class binding itself may be stale — class objects can
 		// migrate too. Re-resolve the class and retry once.
 		a.cache.InvalidateBinding(clsB)
-		freshCls, rerr := a.refreshClassBinding(target.ClassLOID(), clsB)
+		freshCls, rerr := a.refreshClassBinding(ctx, target.ClassLOID(), clsB)
 		if rerr != nil {
 			return binding.Binding{}, fmt.Errorf("bindagent %v: refresh %v: %w", a.self, target, err)
 		}
-		b, err = a.callBinding(freshCls.Address, freshCls.LOID, "RefreshBinding", wire.Binding(stale))
+		b, err = a.callBinding(ctx, freshCls.Address, freshCls.LOID, "RefreshBinding", wire.Binding(stale))
 		if err != nil {
 			return binding.Binding{}, err
 		}
@@ -247,25 +250,25 @@ func (a *Agent) rebindStale(stale binding.Binding) (binding.Binding, error) {
 // locate the class (possibly recursively, §4.1.3), then ask the class,
 // which "must be able to return a binding if one exists" — possibly by
 // activating the object through its Magistrate.
-func (a *Agent) resolveViaClass(target loid.LOID) (binding.Binding, error) {
+func (a *Agent) resolveViaClass(ctx context.Context, target loid.LOID) (binding.Binding, error) {
 	if target.IsClass() {
-		return a.resolveClass(target, 0)
+		return a.resolveClass(ctx, target, 0)
 	}
-	clsB, err := a.resolveClass(target.ClassLOID(), 0)
+	clsB, err := a.resolveClass(ctx, target.ClassLOID(), 0)
 	if err != nil {
 		return binding.Binding{}, fmt.Errorf("bindagent %v: class of %v: %w", a.self, target, err)
 	}
-	b, err := a.callBinding(clsB.Address, clsB.LOID, "GetBinding", wire.LOID(target))
+	b, err := a.callBinding(ctx, clsB.Address, clsB.LOID, "GetBinding", wire.LOID(target))
 	if err != nil {
 		// The class binding itself may be stale (a migrated class
 		// object): drop it and retry once through a fresh class
 		// resolution.
 		a.cache.InvalidateBinding(clsB)
-		clsB, rerr := a.refreshClassBinding(target.ClassLOID(), clsB)
+		clsB, rerr := a.refreshClassBinding(ctx, target.ClassLOID(), clsB)
 		if rerr != nil {
 			return binding.Binding{}, fmt.Errorf("bindagent %v: %v: %w", a.self, target, err)
 		}
-		return a.callBinding(clsB.Address, clsB.LOID, "GetBinding", wire.LOID(target))
+		return a.callBinding(ctx, clsB.Address, clsB.LOID, "GetBinding", wire.LOID(target))
 	}
 	return b, nil
 }
@@ -274,7 +277,7 @@ func (a *Agent) resolveViaClass(target loid.LOID) (binding.Binding, error) {
 // LegionClass; either it answers directly, or it names the responsible
 // class, which is located the same way and then consulted. Cached
 // bindings and responsibility pairs short-circuit both steps.
-func (a *Agent) resolveClass(cls loid.LOID, depth int) (binding.Binding, error) {
+func (a *Agent) resolveClass(ctx context.Context, cls loid.LOID, depth int) (binding.Binding, error) {
 	if depth > maxClassDepth {
 		return binding.Binding{}, fmt.Errorf("bindagent %v: class chain deeper than %d", a.self, maxClassDepth)
 	}
@@ -289,7 +292,7 @@ func (a *Agent) resolveClass(cls loid.LOID, depth int) (binding.Binding, error) 
 	// Responsibility-pair cache first; LegionClass only on a pair miss.
 	resp, havePair := a.pairFor(cls)
 	if !havePair {
-		direct, b, responsible, err := a.locateClassStep(cls)
+		direct, b, responsible, err := a.locateClassStep(ctx, cls)
 		if err != nil {
 			return binding.Binding{}, err
 		}
@@ -300,11 +303,11 @@ func (a *Agent) resolveClass(cls loid.LOID, depth int) (binding.Binding, error) 
 		resp = responsible
 		a.setPair(cls, resp)
 	}
-	respB, err := a.resolveClass(resp, depth+1)
+	respB, err := a.resolveClass(ctx, resp, depth+1)
 	if err != nil {
 		return binding.Binding{}, err
 	}
-	b, err := a.callBinding(respB.Address, respB.LOID, "GetBinding", wire.LOID(cls))
+	b, err := a.callBinding(ctx, respB.Address, respB.LOID, "GetBinding", wire.LOID(cls))
 	if err != nil {
 		return binding.Binding{}, fmt.Errorf("bindagent %v: responsible class %v: %w", a.self, resp, err)
 	}
@@ -314,14 +317,14 @@ func (a *Agent) resolveClass(cls loid.LOID, depth int) (binding.Binding, error) 
 
 // refreshClassBinding re-resolves a class binding treating staleB as
 // bad: LegionClass or the responsible class is asked to refresh.
-func (a *Agent) refreshClassBinding(cls loid.LOID, staleB binding.Binding) (binding.Binding, error) {
+func (a *Agent) refreshClassBinding(ctx context.Context, cls loid.LOID, staleB binding.Binding) (binding.Binding, error) {
 	a.cache.InvalidateLOID(cls)
 	if cls.SameObject(loid.LegionClass) {
 		return binding.Forever(loid.LegionClass, a.legionClassAddr), nil
 	}
 	resp, havePair := a.pairFor(cls)
 	if !havePair {
-		direct, b, responsible, err := a.locateClassStep(cls)
+		direct, b, responsible, err := a.locateClassStep(ctx, cls)
 		if err != nil {
 			return binding.Binding{}, err
 		}
@@ -332,13 +335,13 @@ func (a *Agent) refreshClassBinding(cls loid.LOID, staleB binding.Binding) (bind
 		resp = responsible
 		a.setPair(cls, resp)
 	}
-	respB, err := a.resolveClass(resp, 0)
+	respB, err := a.resolveClass(ctx, resp, 0)
 	if err != nil {
 		return binding.Binding{}, err
 	}
 	stale := staleB
 	stale.LOID = cls
-	b, err := a.callBinding(respB.Address, respB.LOID, "RefreshBinding", wire.Binding(stale))
+	b, err := a.callBinding(ctx, respB.Address, respB.LOID, "RefreshBinding", wire.Binding(stale))
 	if err != nil {
 		return binding.Binding{}, err
 	}
@@ -347,8 +350,8 @@ func (a *Agent) refreshClassBinding(cls loid.LOID, staleB binding.Binding) (bind
 }
 
 // locateClassStep performs one LocateClass call on LegionClass.
-func (a *Agent) locateClassStep(cls loid.LOID) (direct bool, b binding.Binding, responsible loid.LOID, err error) {
-	res, err := a.obj.Caller().CallAddr(a.legionClassAddr, loid.LegionClass, "LocateClass", wire.LOID(cls))
+func (a *Agent) locateClassStep(ctx context.Context, cls loid.LOID) (direct bool, b binding.Binding, responsible loid.LOID, err error) {
+	res, err := a.obj.Caller().CallAddrCtx(ctx, a.legionClassAddr, loid.LegionClass, "LocateClass", wire.LOID(cls))
 	if err != nil {
 		return false, binding.Binding{}, loid.Nil, err
 	}
@@ -376,8 +379,8 @@ func (a *Agent) locateClassStep(cls loid.LOID) (direct bool, b binding.Binding, 
 
 // callBinding invokes a binding-returning method at an explicit
 // address and decodes the result.
-func (a *Agent) callBinding(addr oa.Address, target loid.LOID, method string, arg []byte) (binding.Binding, error) {
-	res, err := a.obj.Caller().CallAddr(addr, target, method, arg)
+func (a *Agent) callBinding(ctx context.Context, addr oa.Address, target loid.LOID, method string, arg []byte) (binding.Binding, error) {
+	res, err := a.obj.Caller().CallAddrCtx(ctx, addr, target, method, arg)
 	if err != nil {
 		return binding.Binding{}, err
 	}

@@ -1,6 +1,8 @@
 package bindagent
 
 import (
+	"context"
+
 	"repro/internal/binding"
 	"repro/internal/loid"
 	"repro/internal/oa"
@@ -30,12 +32,23 @@ func (c *Client) Agent() loid.LOID { return c.agent }
 
 // Resolve implements rt.Resolver via GetBinding(LOID).
 func (c *Client) Resolve(l loid.LOID) (binding.Binding, error) {
-	return c.call("GetBinding", wire.LOID(l))
+	return c.ResolveCtx(context.Background(), l)
+}
+
+// ResolveCtx implements rt.CtxResolver: the caller's remaining
+// deadline and trace identity propagate into the agent hop.
+func (c *Client) ResolveCtx(ctx context.Context, l loid.LOID) (binding.Binding, error) {
+	return c.call(ctx, "GetBinding", wire.LOID(l))
 }
 
 // Refresh implements rt.Resolver via the GetBinding(binding) overload.
 func (c *Client) Refresh(stale binding.Binding) (binding.Binding, error) {
-	return c.call("RebindStale", wire.Binding(stale))
+	return c.RefreshCtx(context.Background(), stale)
+}
+
+// RefreshCtx implements rt.CtxResolver.
+func (c *Client) RefreshCtx(ctx context.Context, stale binding.Binding) (binding.Binding, error) {
+	return c.call(ctx, "RebindStale", wire.Binding(stale))
 }
 
 // AddBinding propagates a binding into the agent's cache (§3.6).
@@ -86,8 +99,8 @@ func (c *Client) CacheStats() (hits, misses uint64, err error) {
 	return hits, misses, err
 }
 
-func (c *Client) call(method string, arg []byte) (binding.Binding, error) {
-	res, err := c.caller.CallAddr(c.addr, c.agent, method, arg)
+func (c *Client) call(ctx context.Context, method string, arg []byte) (binding.Binding, error) {
+	res, err := c.caller.CallAddrCtx(ctx, c.addr, c.agent, method, arg)
 	if err != nil {
 		return binding.Binding{}, err
 	}

@@ -1,6 +1,8 @@
 package class
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 
@@ -235,7 +237,7 @@ func (c *ClassImpl) create(inv *rt.Invocation) ([][]byte, error) {
 	}
 
 	mc := magistrate.NewClient(c.obj.Caller(), mag)
-	if err := mc.Register(l, implSpec, initState); err != nil {
+	if err := mc.RegisterCtx(inv.Ctx(), l, implSpec, initState); err != nil {
 		return nil, fmt.Errorf("class %s: register %v with %v: %w", c.meta.Name, l, mag, err)
 	}
 	// Scheduling hook (§3.7/§3.8): with no explicit host hint, the
@@ -250,7 +252,7 @@ func (c *ClassImpl) create(inv *rt.Invocation) ([][]byte, error) {
 			}
 		}
 	}
-	b, err := mc.Activate(l, hostHint)
+	b, err := mc.ActivateCtx(inv.Ctx(), l, hostHint)
 	if err != nil {
 		return nil, fmt.Errorf("class %s: activate %v: %w", c.meta.Name, l, err)
 	}
@@ -510,7 +512,7 @@ func (c *ClassImpl) getBinding(inv *rt.Invocation) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := c.bindingFor(l, oa.Address{})
+	b, err := c.bindingFor(inv.Ctx(), l, oa.Address{})
 	if err != nil {
 		return nil, err
 	}
@@ -529,7 +531,7 @@ func (c *ClassImpl) refreshBinding(inv *rt.Invocation) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := c.bindingFor(stale.LOID, stale.Address)
+	b, err := c.bindingFor(inv.Ctx(), stale.LOID, stale.Address)
 	if err != nil {
 		return nil, err
 	}
@@ -537,8 +539,9 @@ func (c *ClassImpl) refreshBinding(inv *rt.Invocation) ([][]byte, error) {
 }
 
 // bindingFor returns a binding for l, treating staleAddr (if non-zero)
-// as known-bad.
-func (c *ClassImpl) bindingFor(l loid.LOID, staleAddr oa.Address) (binding.Binding, error) {
+// as known-bad. ctx carries the original caller's remaining deadline
+// and trace identity into the Magistrate/Host activation chain.
+func (c *ClassImpl) bindingFor(ctx context.Context, l loid.LOID, staleAddr oa.Address) (binding.Binding, error) {
 	c.mu.Lock()
 	row, ok := c.table[l.ID()]
 	if !ok {
@@ -564,7 +567,7 @@ func (c *ClassImpl) bindingFor(l loid.LOID, staleAddr oa.Address) (binding.Bindi
 	var lastErr error
 	for _, mag := range mags {
 		mc := magistrate.NewClient(c.obj.Caller(), mag)
-		b, err := mc.Activate(l, loid.Nil)
+		b, err := mc.ActivateCtx(ctx, l, loid.Nil)
 		if err != nil {
 			lastErr = err
 			continue

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bindagent"
 	"repro/internal/class"
+	"repro/internal/health"
 	"repro/internal/host"
 	"repro/internal/idl"
 	"repro/internal/implreg"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/oa"
 	"repro/internal/persist"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -65,6 +67,14 @@ type Options struct {
 	// with an on-disk FileStore under VaultDir/j<N> instead of memory;
 	// Object Persistent Addresses are then real file names (§3.1.1).
 	VaultDir string
+	// Tracer, if set, is installed on every node Boot creates, so each
+	// hop of the binding/invocation chain records spans into it. Nil
+	// disables tracing (the hot path pays one atomic load).
+	Tracer *trace.Tracer
+	// Health, if set, is shared by every bootstrapped caller:
+	// cooperative failure detection plus breaker state for the debug
+	// surface. Nil leaves callers without breakers (prior behaviour).
+	Health *health.Tracker
 }
 
 func (o *Options) fill() {
@@ -202,8 +212,20 @@ func (s *System) newNode(name string) (*rt.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Options.Tracer != nil {
+		n.SetTracer(s.Options.Tracer)
+	}
 	s.nodes = append(s.nodes, n)
 	return n, nil
+}
+
+// tune applies the system-wide caller knobs (per-wave timeout, shared
+// health tracker) to a freshly built caller.
+func (s *System) tune(c *rt.Caller) {
+	c.Timeout = s.Options.CallTimeout
+	if s.Options.Health != nil {
+		c.SetHealth(s.Options.Health)
+	}
 }
 
 func (s *System) bootstrap() error {
@@ -217,7 +239,7 @@ func (s *System) bootstrap() error {
 		return err
 	}
 	metaCaller := rt.NewCaller(metaNode, loid.LegionClass, nil)
-	metaCaller.Timeout = s.Options.CallTimeout
+	s.tune(metaCaller)
 	if _, err := metaNode.Spawn(loid.LegionClass, s.meta,
 		rt.WithCaller(metaCaller), rt.WithLabel("class/LegionClass"),
 		rt.WithConcurrency(host.ServiceConcurrency)); err != nil {
@@ -272,7 +294,7 @@ func (s *System) bootstrap() error {
 			return err
 		}
 		caller := rt.NewCaller(node, meta.Self, nil)
-		caller.Timeout = s.Options.CallTimeout
+		s.tune(caller)
 		caller.AddBinding(bindingFor(loid.LegionClass, s.LegionClassAddr))
 		needResolver = append(needResolver, caller)
 		if _, err := node.Spawn(cc.l, impl,
@@ -332,12 +354,12 @@ func (s *System) bootstrap() error {
 			leaf := s.leafFor(int(hostSeq))
 			resFactory := func(self loid.LOID) rt.Resolver {
 				c := rt.NewCaller(node, self, nil)
-				c.Timeout = s.Options.CallTimeout
+				s.tune(c)
 				return bindagent.NewClient(c, leaf.LOID, leaf.Addr)
 			}
 			hobj := host.New(hl, node, s.Impls, resFactory)
 			hostCaller := rt.NewCaller(node, hl, nil)
-			hostCaller.Timeout = s.Options.CallTimeout
+			s.tune(hostCaller)
 			hostCaller.SetResolver(bindagent.NewClient(hostCaller, leaf.LOID, leaf.Addr))
 			if _, err := node.Spawn(hl, hobj,
 				rt.WithCaller(hostCaller), rt.WithLabel(fmt.Sprintf("host/%d", hostSeq)),
@@ -361,7 +383,7 @@ func (s *System) bootstrap() error {
 		mag.BindingTTL = s.Options.BindingTTL
 		leaf := s.leafFor(j)
 		magCaller := rt.NewCaller(node, ml, nil)
-		magCaller.Timeout = s.Options.CallTimeout
+		s.tune(magCaller)
 		magCaller.SetResolver(bindagent.NewClient(magCaller, leaf.LOID, leaf.Addr))
 		if _, err := node.Spawn(ml, mag,
 			rt.WithCaller(magCaller), rt.WithLabel(fmt.Sprintf("magistrate/%d", magSeq)),
@@ -408,7 +430,7 @@ func (s *System) bootAgents() error {
 		al := loid.New(loid.ClassIDBindingAgent, seq, loid.DeriveKey("agent/"+name))
 		agent := bindagent.New(al, s.Options.AgentCacheSize, s.LegionClassAddr)
 		caller := rt.NewCaller(node, al, nil)
-		caller.Timeout = s.Options.CallTimeout
+		s.tune(caller)
 		if _, err := node.Spawn(al, agent,
 			rt.WithCaller(caller), rt.WithLabel("bindagent/"+name),
 			rt.WithConcurrency(host.ServiceConcurrency)); err != nil {
@@ -494,7 +516,7 @@ func (s *System) NewClient(self loid.LOID) (*rt.Caller, error) {
 	}
 	leaf := s.NextLeaf()
 	c := rt.NewCaller(node, self, bindagent.NewClient(newRawCaller(node, self, s.Options.CallTimeout), leaf.LOID, leaf.Addr))
-	c.Timeout = s.Options.CallTimeout
+	s.tune(c)
 	if s.Options.ClientCacheSize > 0 {
 		c.SetCache(newCache(s.Options.ClientCacheSize))
 	}

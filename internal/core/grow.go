@@ -62,7 +62,7 @@ func (s *System) AddJurisdiction(hostCount int) (*Jurisdiction, error) {
 	mag.BindingTTL = s.Options.BindingTTL
 	leaf := s.NextLeaf()
 	magCaller := rt.NewCaller(node, ml, nil)
-	magCaller.Timeout = s.Options.CallTimeout
+	s.tune(magCaller)
 	magCaller.SetResolver(bindagent.NewClient(magCaller, leaf.LOID, leaf.Addr))
 	if _, err := node.Spawn(ml, mag,
 		rt.WithCaller(magCaller), rt.WithLabel(fmt.Sprintf("magistrate/%d", magSeq)),
@@ -102,12 +102,12 @@ func (s *System) startHost(seq uint64) (loid.LOID, oa.Address, *host.Host, error
 	leaf := s.leafFor(int(seq))
 	resFactory := func(self loid.LOID) rt.Resolver {
 		c := rt.NewCaller(node, self, nil)
-		c.Timeout = s.Options.CallTimeout
+		s.tune(c)
 		return bindagent.NewClient(c, leaf.LOID, leaf.Addr)
 	}
 	hobj := host.New(hl, node, s.Impls, resFactory)
 	hostCaller := rt.NewCaller(node, hl, nil)
-	hostCaller.Timeout = s.Options.CallTimeout
+	s.tune(hostCaller)
 	hostCaller.SetResolver(bindagent.NewClient(hostCaller, leaf.LOID, leaf.Addr))
 	if _, err := node.Spawn(hl, hobj,
 		rt.WithCaller(hostCaller), rt.WithLabel(fmt.Sprintf("host/%d", seq)),

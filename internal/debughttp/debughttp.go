@@ -1,0 +1,201 @@
+// Package debughttp is the live observability surface: an opt-in HTTP
+// listener exposing the node's metrics registry in Prometheus text
+// format, recent invocation traces (human timeline or Chrome
+// trace-event JSON), circuit-breaker state, and the stdlib pprof and
+// expvar handlers. It is wired into legiond behind -debug-addr and is
+// off by default — the invocation fast path never pays for it.
+//
+// Everything here reads snapshots (Registry.Counters/Histograms,
+// Tracer.Spans, Tracker.Snapshot): a scrape never takes a lock the
+// invocation path contends on.
+package debughttp
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/health"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Options selects what the handler can show. Nil fields render as
+// empty sections rather than errors, so a partially wired node still
+// serves what it has.
+type Options struct {
+	// Registry supplies /metrics (counters + histograms).
+	Registry *metrics.Registry
+	// Tracer supplies /debug/traces.
+	Tracer *trace.Tracer
+	// Health supplies /debug/health (breaker states, EWMA latency).
+	Health *health.Tracker
+}
+
+// Handler builds the debug mux:
+//
+//	/               — index of everything below
+//	/metrics        — Prometheus text exposition
+//	/debug/traces   — recent trace IDs; ?id=<hex> for one trace's hop
+//	                  timeline, &format=chrome for trace-event JSON
+//	/debug/health   — per-endpoint breaker state
+//	/debug/pprof/   — stdlib profiles
+//	/debug/vars     — expvar JSON
+func Handler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "legion debug surface\n\n"+
+			"/metrics        Prometheus text metrics\n"+
+			"/debug/traces   recent traces (?id=<hex>&format=chrome)\n"+
+			"/debug/health   circuit-breaker state per endpoint\n"+
+			"/debug/pprof/   runtime profiles\n"+
+			"/debug/vars     expvar JSON\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, opts.Registry)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		serveTraces(w, r, opts.Tracer)
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		serveHealth(w, opts.Health)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Serve listens on addr and serves Handler(opts) until the listener
+// fails. It returns the bound address (useful with a ":0" addr) and a
+// stop function. Serving starts before Serve returns.
+func Serve(addr string, opts Options) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(opts)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// promName sanitizes a registry name ("rt/calls", "invoke.latency")
+// into the Prometheus name space: [a-zA-Z0-9_:], leading digit
+// prefixed.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return "legion_" + b.String()
+}
+
+func writeMetrics(w http.ResponseWriter, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, c := range reg.Counters() {
+		n := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, h := range reg.Histograms() {
+		n := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, cnt := range h.Stats.Buckets {
+			cum += cnt
+			if cnt == 0 && i != len(h.Stats.Buckets)-1 {
+				continue // keep the exposition short; cumulative stays right
+			}
+			bound := metrics.BucketBound(i)
+			le := "+Inf"
+			if bound >= 0 {
+				le = strconv.FormatFloat(bound.Seconds(), 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", n, h.Stats.Sum.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Stats.Count)
+	}
+}
+
+func serveTraces(w http.ResponseWriter, r *http.Request, tr *trace.Tracer) {
+	if tr == nil {
+		http.Error(w, "tracing disabled (no tracer installed)", http.StatusNotFound)
+		return
+	}
+	idStr := r.URL.Query().Get("id")
+	if idStr == "" {
+		ids := tr.TraceIDs()
+		fmt.Fprintf(w, "%d recent traces (newest first); ?id=<hex> for a timeline\n\n", len(ids))
+		for _, id := range ids {
+			spans := tr.Trace(id)
+			root := "?"
+			for _, s := range spans {
+				if s.Context().ParentSpanID == 0 {
+					root = s.Name
+					break
+				}
+			}
+			fmt.Fprintf(w, "%016x  %2d spans  %s\n", id, len(spans), root)
+		}
+		return
+	}
+	id, err := strconv.ParseUint(strings.TrimPrefix(idStr, "0x"), 16, 64)
+	if err != nil {
+		http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spans := tr.Trace(id)
+	if len(spans) == 0 {
+		http.Error(w, "no such trace (evicted or never sampled)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		out, err := trace.ChromeJSON(spans)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+		return
+	}
+	fmt.Fprintln(w, trace.Timeline(spans))
+}
+
+func serveHealth(w http.ResponseWriter, tr *health.Tracker) {
+	if tr == nil {
+		fmt.Fprintln(w, "no health tracker installed")
+		return
+	}
+	snap := tr.Snapshot()
+	sort.SliceStable(snap, func(i, j int) bool {
+		return snap[i].State > snap[j].State // sickest first
+	})
+	fmt.Fprintf(w, "%d tracked endpoints\n\n", len(snap))
+	for _, eh := range snap {
+		fmt.Fprintf(w, "%-24s %-9s consec=%d ewma=%s\n",
+			eh.Element, eh.State, eh.Consecutive, eh.EWMA)
+	}
+}

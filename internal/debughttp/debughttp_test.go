@@ -1,0 +1,191 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/metrics"
+	"repro/internal/oa"
+	"repro/internal/trace"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("rt/calls").Add(7)
+	reg.Histogram("invoke.latency").Observe(3 * time.Millisecond)
+	reg.Histogram("invoke.latency").Observe(900 * time.Millisecond)
+
+	code, body := get(t, Handler(Options{Registry: reg}), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE legion_rt_calls counter",
+		"legion_rt_calls 7",
+		"# TYPE legion_invoke_latency histogram",
+		"legion_invoke_latency_count 2",
+		`legion_invoke_latency_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Bucket cumulative counts must be monotonic and end at Count.
+	var last uint64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "legion_invoke_latency_bucket") {
+			continue
+		}
+		var v uint64
+		if _, err := fmtSscan(line, &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = v
+	}
+	if last != 2 {
+		t.Errorf("final bucket = %d, want 2", last)
+	}
+}
+
+// fmtSscan pulls the trailing integer off a "name{...} N" line.
+func fmtSscan(line string, v *uint64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*v, err = parseUint(line[i+1:])
+	return 1, err
+}
+
+func parseUint(s string) (uint64, error) {
+	var v uint64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, &parseErr{s}
+		}
+		v = v*10 + uint64(r-'0')
+	}
+	return v, nil
+}
+
+type parseErr struct{ s string }
+
+func (e *parseErr) Error() string { return "not a uint: " + e.s }
+
+func TestTracesEndpoint(t *testing.T) {
+	tr := trace.New(trace.Config{SampleEvery: 1})
+	root := tr.Root("call", "Work", "client-0")
+	child := tr.Child(root.Context(), "serve", "Work", "host-1")
+	child.Event("cache", "hit")
+	child.Finish("OK")
+	root.Finish("OK")
+	id := root.Context().TraceID
+
+	h := Handler(Options{Tracer: tr})
+
+	code, body := get(t, h, "/debug/traces")
+	if code != 200 || !strings.Contains(body, "1 recent traces") {
+		t.Fatalf("trace list: %d %q", code, body)
+	}
+
+	code, body = get(t, h, "/debug/traces?id="+hex(id))
+	if code != 200 {
+		t.Fatalf("timeline status = %d: %s", code, body)
+	}
+	for _, want := range []string{"client-0", "host-1", "cache: hit"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("timeline missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, h, "/debug/traces?id="+hex(id)+"&format=chrome")
+	if code != 200 {
+		t.Fatalf("chrome export status = %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome export empty")
+	}
+
+	if code, _ := get(t, h, "/debug/traces?id=ffffffffffffffff"); code != 404 {
+		t.Errorf("unknown trace id status = %d, want 404", code)
+	}
+	if code, _ := get(t, h, "/debug/traces?id=zzz"); code != 400 {
+		t.Errorf("bad trace id status = %d, want 400", code)
+	}
+	if code, _ := get(t, Handler(Options{}), "/debug/traces"); code != 404 {
+		t.Errorf("no-tracer status = %d, want 404", code)
+	}
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		out[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(out)
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	tr := health.NewTracker(health.Config{FailureThreshold: 1, OpenDuration: time.Minute}, nil)
+	tr.ReportSuccess(oa.MemElement(1), 2*time.Millisecond)
+	tr.ReportFailure(oa.MemElement(2))
+
+	code, body := get(t, Handler(Options{Health: tr}), "/debug/health")
+	if code != 200 {
+		t.Fatalf("/debug/health status = %d", code)
+	}
+	if !strings.Contains(body, "2 tracked endpoints") ||
+		!strings.Contains(body, "open") || !strings.Contains(body, "closed") {
+		t.Errorf("health body:\n%s", body)
+	}
+	// Sickest-first ordering: the open breaker line precedes the closed.
+	if strings.Index(body, "open") > strings.Index(body, "closed") {
+		t.Errorf("open breaker not listed first:\n%s", body)
+	}
+}
+
+func TestPprofAndVars(t *testing.T) {
+	h := Handler(Options{})
+	if code, body := get(t, h, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get(t, h, "/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d %q", code, body[:min(len(body), 80)])
+	}
+}
+
+func TestServeBindsAndStops(t *testing.T) {
+	addr, stop, err := Serve("127.0.0.1:0", Options{Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("live /metrics status = %d", resp.StatusCode)
+	}
+}

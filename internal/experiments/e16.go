@@ -47,9 +47,9 @@ func RunE16(scale Scale) (*Table, error) {
 	}
 
 	t := &Table{
-		ID:    "E16",
-		Title: "Invocation availability under host crash/restart churn (§4.3)",
-		Claim: "with deadlines, retry budgets, and breaker-driven failure detection, invocations mask host crashes: >=99% of deadline-bounded calls succeed under churn, where a reboot-detection baseline loses every call aimed at a dead host for the whole outage",
+		ID:      "E16",
+		Title:   "Invocation availability under host crash/restart churn (§4.3)",
+		Claim:   "with deadlines, retry budgets, and breaker-driven failure detection, invocations mask host crashes: >=99% of deadline-bounded calls succeed under churn, where a reboot-detection baseline loses every call aimed at a dead host for the whole outage",
 		Columns: []string{"churn (crash period)", "health layer", "calls", "success", "p50", "p99", "crashes"},
 	}
 

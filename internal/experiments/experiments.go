@@ -105,6 +105,7 @@ func All() []Runner {
 		{"E14", "scheduling-ablation", RunE14},
 		{"E15", "wide-area-latency", RunE15},
 		{"E16", "fault-churn", RunE16},
+		{"E17", "trace-attribution", RunE17},
 	}
 }
 

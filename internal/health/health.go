@@ -20,6 +20,7 @@
 package health
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -253,4 +254,41 @@ func (t *Tracker) Rank(e oa.Element) int {
 		}
 		return 0
 	}
+}
+
+// EndpointHealth is a point-in-time view of one endpoint's record,
+// as enumerated by Snapshot (for the debug surface).
+type EndpointHealth struct {
+	Element     oa.Element
+	State       State
+	Consecutive int           // consecutive failures
+	EWMA        time.Duration // reply latency estimate (0 = no sample)
+}
+
+// Snapshot enumerates every endpoint the tracker has heard about,
+// sorted by element for stable display. An Open breaker whose window
+// has elapsed reads as HalfOpen, matching StateOf.
+func (t *Tracker) Snapshot() []EndpointHealth {
+	var out []EndpointHealth
+	now := time.Now()
+	t.m.Range(func(k, v any) bool {
+		es := v.(*endpointState)
+		es.mu.Lock()
+		eh := EndpointHealth{
+			Element:     k.(oa.Element),
+			State:       es.state,
+			Consecutive: es.consec,
+			EWMA:        es.ewma,
+		}
+		if eh.State == Open && now.After(es.openedUntil) {
+			eh.State = HalfOpen
+		}
+		es.mu.Unlock()
+		out = append(out, eh)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Element.String() < out[j].Element.String()
+	})
+	return out
 }

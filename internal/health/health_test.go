@@ -126,3 +126,41 @@ func TestTrackerConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestSnapshotEnumeratesEndpoints(t *testing.T) {
+	tr := NewTracker(Config{FailureThreshold: 2, OpenDuration: time.Minute}, nil)
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh tracker snapshot has %d entries, want 0", len(got))
+	}
+
+	good := oa.MemElement(1)
+	bad := oa.MemElement(2)
+	tr.ReportSuccess(good, 5*time.Millisecond)
+	tr.ReportFailure(bad)
+	tr.ReportFailure(bad)
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	byElem := map[oa.Element]EndpointHealth{}
+	for _, eh := range snap {
+		byElem[eh.Element] = eh
+	}
+	g, ok := byElem[good]
+	if !ok || g.State != Closed || g.Consecutive != 0 || g.EWMA != 5*time.Millisecond {
+		t.Errorf("good endpoint snapshot = %+v", g)
+	}
+	b, ok := byElem[bad]
+	if !ok || b.State != Open || b.Consecutive != 2 {
+		t.Errorf("bad endpoint snapshot = %+v", b)
+	}
+
+	// Elapsed open window reads as half-open, matching StateOf.
+	tr2 := NewTracker(Config{FailureThreshold: 1, OpenDuration: time.Nanosecond}, nil)
+	tr2.ReportFailure(good)
+	time.Sleep(time.Millisecond)
+	if snap := tr2.Snapshot(); len(snap) != 1 || snap[0].State != HalfOpen {
+		t.Errorf("elapsed-open snapshot = %+v, want half-open", snap)
+	}
+}

@@ -1,6 +1,8 @@
 package host
 
 import (
+	"context"
+
 	"repro/internal/loid"
 	"repro/internal/oa"
 	"repro/internal/rt"
@@ -25,7 +27,14 @@ func (cl *Client) Host() loid.LOID { return cl.host }
 
 // StartObject asks the host to activate object l from (impl, state).
 func (cl *Client) StartObject(l loid.LOID, impl string, state []byte) (oa.Address, error) {
-	res, err := cl.c.Call(cl.host, "StartObject", wire.LOID(l), wire.String(impl), state)
+	return cl.StartObjectCtx(context.Background(), l, impl, state)
+}
+
+// StartObjectCtx is StartObject carrying the surrounding invocation's
+// deadline and trace identity, so activation appears as a hop of the
+// originating trace.
+func (cl *Client) StartObjectCtx(ctx context.Context, l loid.LOID, impl string, state []byte) (oa.Address, error) {
+	res, err := cl.c.CallCtx(ctx, cl.host, "StartObject", wire.LOID(l), wire.String(impl), state)
 	if err != nil {
 		return oa.Address{}, err
 	}

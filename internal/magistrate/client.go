@@ -1,6 +1,8 @@
 package magistrate
 
 import (
+	"context"
+
 	"repro/internal/binding"
 	"repro/internal/loid"
 	"repro/internal/oa"
@@ -58,7 +60,13 @@ func (cl *Client) ListHosts() ([]loid.LOID, error) {
 // Register places a new object's persistent representation under the
 // magistrate's control.
 func (cl *Client) Register(l loid.LOID, impl string, state []byte) error {
-	res, err := cl.c.Call(cl.m, "Register", wire.LOID(l), wire.String(impl), state)
+	return cl.RegisterCtx(context.Background(), l, impl, state)
+}
+
+// RegisterCtx is Register carrying the surrounding invocation's
+// deadline and trace identity.
+func (cl *Client) RegisterCtx(ctx context.Context, l loid.LOID, impl string, state []byte) error {
+	res, err := cl.c.CallCtx(ctx, cl.m, "Register", wire.LOID(l), wire.String(impl), state)
 	if err != nil {
 		return err
 	}
@@ -69,7 +77,14 @@ func (cl *Client) Register(l loid.LOID, impl string, state []byte) error {
 // hosts (if it is not already) and returns its binding. hostHint may be
 // loid.Nil (§3.8: the overloaded Activate).
 func (cl *Client) Activate(l loid.LOID, hostHint loid.LOID) (binding.Binding, error) {
-	res, err := cl.c.Call(cl.m, "Activate", wire.LOID(l), wire.LOID(hostHint))
+	return cl.ActivateCtx(context.Background(), l, hostHint)
+}
+
+// ActivateCtx is Activate carrying the surrounding invocation's
+// deadline and trace identity, so cold-path activation appears as a
+// hop of the originating trace.
+func (cl *Client) ActivateCtx(ctx context.Context, l loid.LOID, hostHint loid.LOID) (binding.Binding, error) {
+	res, err := cl.c.CallCtx(ctx, cl.m, "Activate", wire.LOID(l), wire.LOID(hostHint))
 	if err != nil {
 		return binding.Binding{}, err
 	}

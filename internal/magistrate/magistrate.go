@@ -9,6 +9,7 @@
 package magistrate
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -294,7 +295,7 @@ func (m *Magistrate) activate(inv *rt.Invocation) ([][]byte, error) {
 			m.mu.Unlock()
 			// Delegate down the hierarchy (§2.2).
 			if out, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
-				b, err := sc.Activate(l, hint)
+				b, err := sc.ActivateCtx(inv.Ctx(), l, hint)
 				if err != nil {
 					return nil, err
 				}
@@ -331,7 +332,7 @@ func (m *Magistrate) activate(inv *rt.Invocation) ([][]byte, error) {
 		rec.activating = true
 		m.mu.Unlock()
 
-		results, err := m.startOn(l, rec, h, oprAddr)
+		results, err := m.startOn(inv.Ctx(), l, rec, h, oprAddr)
 		m.mu.Lock()
 		rec.activating = false
 		m.cond.Broadcast()
@@ -342,13 +343,13 @@ func (m *Magistrate) activate(inv *rt.Invocation) ([][]byte, error) {
 
 // startOn performs the unlocked portion of an activation; exactly one
 // goroutine runs it per object at a time (the activating guard).
-func (m *Magistrate) startOn(l loid.LOID, rec *record, h hostEntry, oprAddr persist.PersistentAddress) ([][]byte, error) {
+func (m *Magistrate) startOn(ctx context.Context, l loid.LOID, rec *record, h hostEntry, oprAddr persist.PersistentAddress) ([][]byte, error) {
 	opr, err := m.store.Get(oprAddr)
 	if err != nil {
 		return nil, fmt.Errorf("magistrate %v: opr for %v: %w", m.self, l, err)
 	}
 	hc := host.NewClient(m.obj.Caller(), h.l)
-	addr, err := hc.StartObject(l, opr.Impl, opr.State)
+	addr, err := hc.StartObjectCtx(ctx, l, opr.Impl, opr.State)
 	if err != nil {
 		return nil, fmt.Errorf("magistrate %v: start %v on %v: %w", m.self, l, h.l, err)
 	}

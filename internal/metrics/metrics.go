@@ -16,55 +16,115 @@ import (
 )
 
 // Counter is a monotonically increasing event counter safe for
-// concurrent use.
+// concurrent use. All methods are nil-receiver safe: a nil *Counter is
+// a discard, which is how the Nop registry makes metrics free.
 type Counter struct {
 	v atomic.Uint64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.v.Store(0) }
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.v.Store(0)
+}
+
+// numBuckets is the histogram bucket count: bucket i counts d with
+// 2^(i-1)µs <= d < 2^i µs; bucket 0: < 1µs.
+const numBuckets = 32
 
 // Histogram records durations in power-of-two microsecond buckets.
+// Observe is lock-free: count/sum/buckets are atomic adds and min/max
+// are CAS loops, so parallel observers on distinct cache lines never
+// serialize. Snapshot reads the atomics without a lock; it is a
+// consistent-enough view for reporting, not a linearizable cut.
+// A nil *Histogram discards observations (see Nop).
 type Histogram struct {
-	mu      sync.Mutex
-	count   uint64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
-	buckets [32]uint64 // bucket i counts d with 2^(i-1)µs <= d < 2^i µs; bucket 0: < 1µs
+	count atomic.Uint64
+	sum   atomic.Int64 // nanoseconds
+	// min/max hold the observed duration in nanoseconds, offset by +1
+	// so that 0 means "no observation yet" (durations are clamped to
+	// >= 0 before recording).
+	minEnc  atomic.Int64
+	maxEnc  atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketOf maps a duration to its power-of-two microsecond bucket.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < numBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// BucketBound returns the exclusive upper bound of bucket i; the last
+// bucket is unbounded and returns a negative duration as "+Inf".
+func BucketBound(i int) time.Duration {
+	if i >= numBuckets-1 {
+		return -1
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 || d < h.min {
-		h.min = d
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	enc := int64(d) + 1
+	for {
+		cur := h.minEnc.Load()
+		if cur != 0 && cur <= enc {
+			break
+		}
+		if h.minEnc.CompareAndSwap(cur, enc) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.maxEnc.Load()
+		if cur >= enc {
+			break
+		}
+		if h.maxEnc.CompareAndSwap(cur, enc) {
+			break
+		}
 	}
-	h.count++
-	h.sum += d
-	us := d.Microseconds()
-	b := 0
-	for us > 0 && b < len(h.buckets)-1 {
-		us >>= 1
-		b++
-	}
-	h.buckets[b]++
+	h.buckets[bucketOf(d)].Add(1)
 }
 
 // HistStats is a snapshot of a histogram.
@@ -76,30 +136,46 @@ type HistStats struct {
 	Mean  time.Duration
 	P50   time.Duration
 	P99   time.Duration
+	// Buckets is the raw power-of-two µs bucket occupancy (see
+	// BucketBound); exposed so scrapers can re-export the full shape.
+	Buckets [numBuckets]uint64
 }
 
 // Snapshot computes summary statistics. Percentiles are bucket-upper-
-// bound approximations.
+// bound approximations. Under concurrent Observe the snapshot is
+// approximate (fields are read without a common lock).
 func (h *Histogram) Snapshot() HistStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-	if h.count == 0 {
+	if h == nil {
+		return HistStats{}
+	}
+	var s HistStats
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	if minEnc := h.minEnc.Load(); minEnc > 0 {
+		s.Min = time.Duration(minEnc - 1)
+	}
+	if maxEnc := h.maxEnc.Load(); maxEnc > 0 {
+		s.Max = time.Duration(maxEnc - 1)
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if s.Count == 0 {
 		return s
 	}
-	s.Mean = h.sum / time.Duration(h.count)
-	s.P50 = h.percentileLocked(0.50)
-	s.P99 = h.percentileLocked(0.99)
+	s.Mean = s.Sum / time.Duration(s.Count)
+	s.P50 = s.percentile(0.50)
+	s.P99 = s.percentile(0.99)
 	return s
 }
 
-func (h *Histogram) percentileLocked(q float64) time.Duration {
-	target := uint64(q * float64(h.count))
+func (s *HistStats) percentile(q float64) time.Duration {
+	target := uint64(q * float64(s.Count))
 	if target == 0 {
 		target = 1
 	}
 	var cum uint64
-	for i, n := range h.buckets {
+	for i, n := range s.Buckets {
 		cum += n
 		if cum >= target {
 			if i == 0 {
@@ -108,15 +184,21 @@ func (h *Histogram) percentileLocked(q float64) time.Duration {
 			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
 		}
 	}
-	return h.max
+	return s.Max
 }
 
-// Reset zeroes the histogram.
+// Reset zeroes the histogram. Not atomic with concurrent Observe.
 func (h *Histogram) Reset() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
-	h.buckets = [32]uint64{}
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.minEnc.Store(0)
+	h.maxEnc.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
 }
 
 // Registry is a named collection of counters and histograms. Component
@@ -128,6 +210,10 @@ func (h *Histogram) Reset() {
 type Registry struct {
 	counts sync.Map // string -> *Counter
 	hists  sync.Map // string -> *Histogram
+	// noop marks a discard registry: Counter/Histogram return nil
+	// (whose methods are no-ops), and nothing is ever allocated or
+	// retained. Only Nop sets this.
+	noop bool
 }
 
 // NewRegistry builds an empty registry.
@@ -136,7 +222,11 @@ func NewRegistry() *Registry {
 }
 
 // Counter returns (creating if needed) the counter with the given name.
+// On the Nop registry it returns nil, which discards all operations.
 func (r *Registry) Counter(name string) *Counter {
+	if r.noop {
+		return nil
+	}
 	if v, ok := r.counts.Load(name); ok {
 		return v.(*Counter)
 	}
@@ -145,8 +235,12 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Histogram returns (creating if needed) the histogram with the given
-// name.
+// name. On the Nop registry it returns nil, which discards all
+// observations.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r.noop {
+		return nil
+	}
 	if v, ok := r.hists.Load(name); ok {
 		return v.(*Histogram)
 	}
@@ -165,6 +259,23 @@ func (r *Registry) Counters() []NamedValue {
 	return out
 }
 
+// NamedHist pairs a histogram name with its snapshot.
+type NamedHist struct {
+	Name  string
+	Stats HistStats
+}
+
+// Histograms returns a stable-ordered snapshot of all histograms.
+func (r *Registry) Histograms() []NamedHist {
+	var out []NamedHist
+	r.hists.Range(func(k, v any) bool {
+		out = append(out, NamedHist{Name: k.(string), Stats: v.(*Histogram).Snapshot()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // NamedValue pairs a metric name with its value.
 type NamedValue struct {
 	Name  string
@@ -174,8 +285,10 @@ type NamedValue struct {
 func (nv NamedValue) String() string { return fmt.Sprintf("%s=%d", nv.Name, nv.Value) }
 
 // MaxCounter returns the counter with the largest value whose name has
-// the given prefix; ok is false if none match. Experiment E9 uses it to
-// find the most-loaded component of a kind.
+// the given prefix; ok is false if none match. Ties keep the
+// lexicographically first name (Counters is sorted and only strictly
+// greater values displace the best). Experiment E9 uses it to find the
+// most-loaded component of a kind.
 func (r *Registry) MaxCounter(prefix string) (NamedValue, bool) {
 	var best NamedValue
 	found := false
@@ -213,6 +326,7 @@ func (r *Registry) Reset() {
 	})
 }
 
-// Nop is a shared registry for components that don't care about
-// metrics; it behaves normally but is never read.
-var Nop = NewRegistry()
+// Nop is a shared discard registry for components that don't care
+// about metrics: it hands out nil counters/histograms whose methods
+// are no-ops, so hot paths wired to it neither allocate nor retain.
+var Nop = &Registry{noop: true}

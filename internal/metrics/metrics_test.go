@@ -132,3 +132,161 @@ func TestRegistryReset(t *testing.T) {
 		t.Error("histogram not reset")
 	}
 }
+
+func TestNopDiscards(t *testing.T) {
+	// Nop must neither allocate nor retain: its accessors return nil,
+	// and nil receivers are no-ops.
+	c := Nop.Counter("hot/path")
+	if c != nil {
+		t.Fatal("Nop.Counter returned a live counter")
+	}
+	c.Inc()
+	c.Add(7)
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	h := Nop.Histogram("hot/lat")
+	if h != nil {
+		t.Fatal("Nop.Histogram returned a live histogram")
+	}
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Errorf("nil histogram snapshot %+v", s)
+	}
+	if got := Nop.Counters(); len(got) != 0 {
+		t.Errorf("Nop retained counters: %v", got)
+	}
+	if got := Nop.Histograms(); len(got) != 0 {
+		t.Errorf("Nop retained histograms: %v", got)
+	}
+}
+
+func TestNopZeroAlloc(t *testing.T) {
+	c := Nop.Counter("alloc/check")
+	h := Nop.Histogram("alloc/check")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(time.Microsecond)
+		Nop.Counter("alloc/check").Add(2)
+	})
+	if allocs != 0 {
+		t.Errorf("Nop hot path allocates %.1f per op", allocs)
+	}
+}
+
+func TestMaxCounterPrefixSemantics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("class/a").Add(10)
+	r.Counter("class/b").Add(30)
+	r.Counter("host/x").Add(99)
+
+	// Empty prefix matches everything.
+	nv, ok := r.MaxCounter("")
+	if !ok || nv.Name != "host/x" || nv.Value != 99 {
+		t.Errorf("MaxCounter(\"\") = %v, %v", nv, ok)
+	}
+	if sum := r.SumCounters(""); sum != 139 {
+		t.Errorf("SumCounters(\"\") = %d", sum)
+	}
+
+	// No match.
+	if _, ok := r.MaxCounter("missing/"); ok {
+		t.Error("MaxCounter on no match reported ok")
+	}
+	if sum := r.SumCounters("missing/"); sum != 0 {
+		t.Errorf("SumCounters on no match = %d", sum)
+	}
+
+	// Prefix longer than some names must not panic or match.
+	if _, ok := r.MaxCounter("class/a/very/long/prefix"); ok {
+		t.Error("over-long prefix matched")
+	}
+
+	// Tie-breaking: equal values keep the lexicographically first name.
+	r2 := NewRegistry()
+	r2.Counter("tie/b").Add(5)
+	r2.Counter("tie/a").Add(5)
+	nv, ok = r2.MaxCounter("tie/")
+	if !ok || nv.Name != "tie/a" || nv.Value != 5 {
+		t.Errorf("tie-break = %v, want tie/a", nv)
+	}
+}
+
+func TestHistogramPercentileEdges(t *testing.T) {
+	// 0 observations: everything zero.
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot %+v", s)
+	}
+
+	// 1 observation: min == max == the value; percentiles land in its
+	// bucket's upper bound.
+	var h1 Histogram
+	h1.Observe(5 * time.Microsecond) // bucket 3: [4µs, 8µs)
+	s = h1.Snapshot()
+	if s.Count != 1 || s.Min != 5*time.Microsecond || s.Max != 5*time.Microsecond {
+		t.Errorf("single-obs snapshot %+v", s)
+	}
+	if s.P50 != 8*time.Microsecond || s.P99 != 8*time.Microsecond {
+		t.Errorf("single-obs percentiles P50=%v P99=%v, want 8µs bucket bound", s.P50, s.P99)
+	}
+
+	// All observations in bucket 0 (<1µs): percentile reports the 1µs
+	// bucket-0 bound.
+	var h0 Histogram
+	for i := 0; i < 100; i++ {
+		h0.Observe(100 * time.Nanosecond)
+	}
+	s = h0.Snapshot()
+	if s.Buckets[0] != 100 {
+		t.Errorf("bucket 0 occupancy = %d", s.Buckets[0])
+	}
+	if s.P50 != time.Microsecond || s.P99 != time.Microsecond {
+		t.Errorf("bucket-0 percentiles P50=%v P99=%v, want 1µs", s.P50, s.P99)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum uint64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != workers*per {
+		t.Errorf("bucket occupancy sums to %d", bucketSum)
+	}
+	if s.Min != 0 || s.Max != time.Duration(7*1000+per-1)*time.Nanosecond {
+		t.Errorf("min=%v max=%v", s.Min, s.Max)
+	}
+}
+
+// BenchmarkHistogramObserveParallel proves Observe does not serialize
+// under parallel load (the old mutex implementation collapsed here).
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		d := 37 * time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}

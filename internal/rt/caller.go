@@ -15,6 +15,7 @@ import (
 	"repro/internal/loid"
 	"repro/internal/oa"
 	"repro/internal/security"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -31,6 +32,15 @@ type Resolver interface {
 	// Refresh asks for a different binding than the stale one passed
 	// in (GetBinding(binding), §3.6).
 	Refresh(stale binding.Binding) (binding.Binding, error)
+}
+
+// CtxResolver is an optional Resolver extension. A resolver that makes
+// nested invocations (the Binding Agent client) implements it so the
+// original call's remaining deadline and trace identity propagate into
+// the resolution chain; plain Resolvers keep working unchanged.
+type CtxResolver interface {
+	ResolveCtx(ctx context.Context, l loid.LOID) (binding.Binding, error)
+	RefreshCtx(ctx context.Context, stale binding.Binding) (binding.Binding, error)
 }
 
 // resolverRef boxes a Resolver so a nil resolver is representable in an
@@ -56,6 +66,7 @@ type Caller struct {
 	cache    atomic.Pointer[binding.Cache]
 	health   atomic.Pointer[health.Tracker]
 	rngState atomic.Uint64
+	traceSeq atomic.Uint64 // per-caller root-sampling counter
 
 	// Timeout is the per-wave reply deadline (default 2s). A call with
 	// a propagated deadline uses min(Timeout, remaining budget) per
@@ -139,18 +150,74 @@ func (c *Caller) Self() loid.LOID { return c.self }
 // AddBinding seeds the local cache (binding propagation, §3.6).
 func (c *Caller) AddBinding(b binding.Binding) { c.Cache().Add(b) }
 
+// startSpan begins the client-side span for one call: a child when the
+// surrounding invocation is traced, otherwise a sampled root. With no
+// tracer installed this costs one atomic load. The root-sampling
+// counter is per-caller — concurrent callers must not contend on one
+// shared cache line just to decide "not sampled".
+func (c *Caller) startSpan(ctx context.Context, method string) *trace.Span {
+	tr := c.node.tracer.Load()
+	if tr == nil {
+		return nil
+	}
+	if parent := trace.FromContext(ctx); parent.Valid() {
+		return tr.Child(parent, "call", method, c.node.name)
+	}
+	if c.traceSeq.Add(1)%tr.SampleEvery() != 0 {
+		return nil
+	}
+	return tr.RootAlways("call", method, c.node.name)
+}
+
+// finishCall stamps the call span with the outcome.
+func finishCall(span *trace.Span, res *Result, err error) {
+	if span == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		span.Finish("error: " + err.Error())
+	case res != nil:
+		span.Finish(res.Code.String())
+	default:
+		span.Finish("")
+	}
+}
+
+// withSpan threads a live span's identity into ctx so nested hops made
+// on our behalf (resolver calls) become its children.
+func withSpan(ctx context.Context, span *trace.Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return trace.NewContext(ctx, span.Context())
+}
+
 // resolve order: cache, then resolver. The cache-hit path is lock-free
-// above the cache shard itself.
-func (c *Caller) resolve(target loid.LOID) (binding.Binding, error) {
+// above the cache shard itself. A traced call records the cache verdict
+// as a span event and hands its identity to a CtxResolver so Binding
+// Agent hops join the trace.
+func (c *Caller) resolve(ctx context.Context, target loid.LOID, span *trace.Span) (binding.Binding, error) {
 	cache := c.Cache()
 	if b, ok := cache.Get(target); ok {
+		span.Event("cache", "hit")
 		return b, nil
 	}
+	span.Event("cache", "miss")
 	r := c.getResolver()
 	if r == nil {
 		return binding.Binding{}, fmt.Errorf("%w: %v (no resolver)", ErrUnbound, target)
 	}
-	b, err := r.Resolve(target)
+	var b binding.Binding
+	var err error
+	if cr, ok := r.(CtxResolver); ok {
+		b, err = cr.ResolveCtx(withSpan(ctx, span), target)
+	} else {
+		b, err = r.Resolve(target)
+	}
 	if err != nil {
 		return binding.Binding{}, fmt.Errorf("%w: %v: %v", ErrUnbound, target, err)
 	}
@@ -169,11 +236,11 @@ func (c *Caller) Invoke(target loid.LOID, method string, args ...[]byte) (*Futur
 // is stamped into the request environment so the receiving object and
 // its nested calls inherit the remaining budget.
 func (c *Caller) InvokeCtx(ctx context.Context, target loid.LOID, method string, args ...[]byte) (*Future, error) {
-	b, err := c.resolve(target)
+	b, err := c.resolve(ctx, target, nil)
 	if err != nil {
 		return nil, err
 	}
-	return c.sendRequest(b.Address, target, method, args, deadlineNanos(ctx))
+	return c.sendRequest(b.Address, target, method, args, deadlineNanos(ctx), trace.FromContext(ctx))
 }
 
 // Call is the synchronous convenience around Invoke: it awaits the
@@ -191,7 +258,16 @@ func (c *Caller) Call(target loid.LOID, method string, args ...[]byte) (*Result,
 // Retries follow c.Retry (attempts, jittered exponential backoff) and
 // draw on c.Budget when one is installed.
 func (c *Caller) CallCtx(ctx context.Context, target loid.LOID, method string, args ...[]byte) (*Result, error) {
-	b, err := c.resolve(target)
+	span := c.startSpan(ctx, method)
+	res, err := c.callCtx(ctx, target, method, args, span)
+	finishCall(span, res, err)
+	return res, err
+}
+
+// callCtx is the CallCtx body; the span (nil when untraced) collects
+// cache, retry, refresh, breaker and deadline events along the way.
+func (c *Caller) callCtx(ctx context.Context, target loid.LOID, method string, args [][]byte, span *trace.Span) (*Result, error) {
+	b, err := c.resolve(ctx, target, span)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +277,7 @@ func (c *Caller) CallCtx(ctx context.Context, target loid.LOID, method string, a
 		maxAttempts = c.MaxRefresh + 1
 	}
 	for attempt := 0; ; attempt++ {
-		res, err := c.deliver(ctx, b.Address, target, method, args)
+		res, err := c.deliver(ctx, b.Address, target, method, args, span)
 		if err == nil && !retryable(res.Code) {
 			return res, nil
 		}
@@ -214,17 +290,25 @@ func (c *Caller) CallCtx(ctx context.Context, target loid.LOID, method string, a
 		// Retries cost budget: a shared budget keeps a partial outage
 		// from amplifying offered load exactly when capacity is short.
 		if !c.Budget.Take() {
+			span.Event("retry", "budget exhausted")
 			if err != nil {
 				return nil, fmt.Errorf("rt: %v (retry budget exhausted)", err)
 			}
 			return res, nil
+		}
+		if span != nil {
+			why := "send error"
+			if res != nil {
+				why = res.Code.String()
+			}
+			span.Event("retry", fmt.Sprintf("attempt %d after %s", attempt+2, why))
 		}
 		// Jittered exponential backoff decorrelates retry storms. The
 		// sleep is clipped to the deadline; if the budget runs out the
 		// next deliver returns ErrDeadlineExceeded.
 		_ = sleepBackoff(c.Retry.backoff(attempt, c.intn), deadline)
 		// The binding is stale or the endpoint unreachable: refresh.
-		nb, rerr := c.refresh(b)
+		nb, rerr := c.refresh(ctx, b, span)
 		if rerr != nil {
 			// A refresh failure with a merely-unavailable (not
 			// stale-signalled) binding usually means transient message
@@ -264,13 +348,20 @@ func deadlineNanos(ctx context.Context) int64 {
 	return d.UnixNano()
 }
 
-func (c *Caller) refresh(stale binding.Binding) (binding.Binding, error) {
+func (c *Caller) refresh(ctx context.Context, stale binding.Binding, span *trace.Span) (binding.Binding, error) {
+	span.Event("refresh", "stale binding invalidated")
 	c.Cache().InvalidateBinding(stale)
 	r := c.getResolver()
 	if r == nil {
 		return binding.Binding{}, ErrUnbound
 	}
-	nb, err := r.Refresh(stale)
+	var nb binding.Binding
+	var err error
+	if cr, ok := r.(CtxResolver); ok {
+		nb, err = cr.RefreshCtx(withSpan(ctx, span), stale)
+	} else {
+		nb, err = r.Refresh(stale)
+	}
 	if err != nil {
 		return binding.Binding{}, err
 	}
@@ -282,17 +373,21 @@ func (c *Caller) refresh(stale binding.Binding) (binding.Binding, error) {
 // binding resolution. Bootstrap and Binding Agent clients use it (the
 // agent's address is part of the object's persistent state, §3.6).
 func (c *Caller) CallAddr(addr oa.Address, target loid.LOID, method string, args ...[]byte) (*Result, error) {
-	return c.deliver(context.Background(), addr, target, method, args)
+	return c.CallAddrCtx(context.Background(), addr, target, method, args...)
 }
 
-// CallAddrCtx is CallAddr with a context deadline.
+// CallAddrCtx is CallAddr with a context: the deadline bounds the call
+// and a carried trace identity parents this hop's span.
 func (c *Caller) CallAddrCtx(ctx context.Context, addr oa.Address, target loid.LOID, method string, args ...[]byte) (*Result, error) {
-	return c.deliver(ctx, addr, target, method, args)
+	span := c.startSpan(ctx, method)
+	res, err := c.deliver(ctx, addr, target, method, args, span)
+	finishCall(span, res, err)
+	return res, err
 }
 
 // OneWay sends a method invocation with no reply expected.
 func (c *Caller) OneWay(target loid.LOID, method string, args ...[]byte) error {
-	b, err := c.resolve(target)
+	b, err := c.resolve(context.Background(), target, nil)
 	if err != nil {
 		return err
 	}
@@ -383,7 +478,7 @@ func putTimer(t *time.Timer) {
 // unanswered wave timeout is a failure; ANY reply — even a retryable
 // one — proves the endpoint alive. With no tracker and no context
 // deadline the function is byte-for-byte the PR 1 fast path.
-func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID, method string, args [][]byte) (*Result, error) {
+func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID, method string, args [][]byte, span *trace.Span) (*Result, error) {
 	waves := addr.Targets(c.intn)
 	if len(waves) == 0 {
 		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
@@ -397,24 +492,32 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 	if ctx != nil {
 		ctxDone = ctx.Done()
 	}
+	sc := span.Context()
 	ht := c.health.Load()
 	if ht != nil && len(waves) > 1 {
 		sortWavesByHealth(ht, waves)
 	}
 	var last *Result
 	skipped := 0
-	for _, wave := range waves {
+	for wi, wave := range waves {
 		if ht != nil {
 			wave = filterWave(ht, wave)
 			if len(wave) == 0 {
 				skipped++
+				if span != nil {
+					span.Event("breaker", fmt.Sprintf("wave %d skipped: all endpoints open", wi+1))
+				}
 				continue
 			}
+		}
+		if wi > 0 && span != nil {
+			span.Event("failover", fmt.Sprintf("wave %d", wi+1))
 		}
 		waveTimeout := c.Timeout
 		if !deadline.IsZero() {
 			remain := time.Until(deadline)
 			if remain <= 0 {
+				span.Event("deadline", "budget exhausted before send")
 				return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}, nil
 			}
 			if remain < waveTimeout {
@@ -425,7 +528,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 		if ht != nil {
 			waveStart = time.Now()
 		}
-		f, contacted, err := c.sendTo(wave, target, method, args, dlNanos, ht)
+		f, contacted, err := c.sendTo(wave, target, method, args, dlNanos, ht, sc)
 		if err != nil {
 			last = &Result{Code: wire.ErrUnavailable, ErrText: err.Error()}
 			continue
@@ -468,6 +571,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 				}
 				if waveLast == nil {
 					if !deadline.IsZero() && !time.Now().Before(deadline) {
+						span.Event("deadline", "expired awaiting reply")
 						waveLast = &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}
 					} else {
 						waveLast = &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}
@@ -477,6 +581,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 			case <-ctxDone:
 				putTimer(timer)
 				c.node.cancel(f.id)
+				span.Event("deadline", "context cancelled")
 				return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ctx.Err().Error()}, nil
 			}
 		}
@@ -488,6 +593,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 			// Every candidate endpoint sat behind an open breaker: fail
 			// fast. The refresh/retry layer above decides what is next;
 			// half-open probes will readmit traffic shortly.
+			span.Event("breaker", "all destinations circuit-open")
 			last = &Result{Code: wire.ErrUnavailable, ErrText: "all destinations circuit-open"}
 		} else {
 			last = &Result{Code: wire.ErrUnavailable, ErrText: "no reachable address"}
@@ -553,12 +659,12 @@ func attributeReply(ht *health.Tracker, contacted []oa.Element, replied []bool, 
 	ht.ReportSuccess(from, latency)
 }
 
-func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, args [][]byte, dlNanos int64) (*Future, error) {
+func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, args [][]byte, dlNanos int64, sc trace.SpanContext) (*Future, error) {
 	waves := addr.Targets(c.intn)
 	if len(waves) == 0 {
 		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
 	}
-	f, _, err := c.sendTo(waves[0], target, method, args, dlNanos, c.health.Load())
+	f, _, err := c.sendTo(waves[0], target, method, args, dlNanos, c.health.Load(), sc)
 	return f, err
 }
 
@@ -568,10 +674,11 @@ func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, a
 // is pooled: transports copy (or frame) the payload before Send
 // returns, so the buffer is recycled as soon as the wave is on the
 // wire. Send failures are reported to ht when installed.
-func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte, dlNanos int64, ht *health.Tracker) (*Future, []oa.Element, error) {
+func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte, dlNanos int64, ht *health.Tracker, sc trace.SpanContext) (*Future, []oa.Element, error) {
 	f := c.node.newFuture(len(wave))
 	env := c.env
 	env.Deadline = dlNanos
+	env.TraceID, env.SpanID, env.ParentSpanID = sc.TraceID, sc.SpanID, sc.ParentSpanID
 	msg := wire.Message{
 		Kind:    wire.KindRequest,
 		ID:      f.id,

@@ -68,7 +68,7 @@ func TestDeadlinePropagatesToNestedHop(t *testing.T) {
 	c.AddBinding(binding.Forever(proxyLOID, nodes[0].Address()))
 
 	budget := 1500 * time.Millisecond
-	ctx := deadlineCtx{t: time.Now().Add(budget)}
+	ctx := invCtx{t: time.Now().Add(budget)}
 	res, err := c.CallCtx(ctx, proxyLOID, "Relay")
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestCallCtxDeadlineBoundsWait(t *testing.T) {
 	c.AddBinding(binding.Forever(hangLOID, nodes[0].Address()))
 
 	start := time.Now()
-	ctx := deadlineCtx{t: time.Now().Add(120 * time.Millisecond)}
+	ctx := invCtx{t: time.Now().Add(120 * time.Millisecond)}
 	res, err := c.CallCtx(ctx, hangLOID, "Hang")
 	elapsed := time.Since(start)
 	if err != nil {
@@ -163,7 +163,7 @@ func TestServerRejectsExpiredDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	// …then queue a request with a short deadline behind it.
-	ctx := deadlineCtx{t: time.Now().Add(80 * time.Millisecond)}
+	ctx := invCtx{t: time.Now().Add(80 * time.Millisecond)}
 	f2, err := c.InvokeCtx(ctx, busyLOID, "Work")
 	if err != nil {
 		t.Fatal(err)

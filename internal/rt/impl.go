@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/idl"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -33,30 +34,47 @@ type Invocation struct {
 	// pass inv.Ctx() to CallCtx so nested hops inherit the remaining
 	// budget instead of arming independent full timers.
 	Deadline time.Time
+	// Trace is the invocation's distributed-tracing identity: the
+	// serving span's context when this node records spans, otherwise
+	// the caller's identity straight from the wire envelope (so a node
+	// without a tracer still propagates the trace downstream). Zero
+	// when the invocation is untraced.
+	Trace trace.SpanContext
+	// Span is the serve span covering this method execution (nil when
+	// untraced or unsampled); handlers may attach events to it.
+	Span *trace.Span
 }
 
 // Ctx returns a context carrying the invocation's propagated deadline
-// (context.Background-equivalent when no deadline was set). It is
-// timer-free and needs no cancel: the deadline is immutable state, not
-// a resource.
+// and trace identity (context.Background-equivalent when neither was
+// set). It is timer-free and needs no cancel: both are immutable state,
+// not resources.
 func (inv *Invocation) Ctx() context.Context {
-	return deadlineCtx{t: inv.Deadline}
+	return invCtx{t: inv.Deadline, sc: inv.Trace}
 }
 
-// deadlineCtx is an allocation-light context.Context carrying only an
-// absolute deadline. Unlike context.WithDeadline it arms no timer and
-// has nothing to cancel, so it can be minted per invocation for free.
-type deadlineCtx struct{ t time.Time }
+// invCtx is an allocation-light context.Context carrying only an
+// absolute deadline and a trace identity. Unlike context.WithDeadline
+// it arms no timer and has nothing to cancel, so it can be minted per
+// invocation for free.
+type invCtx struct {
+	t  time.Time
+	sc trace.SpanContext
+}
 
-func (d deadlineCtx) Deadline() (time.Time, bool) { return d.t, !d.t.IsZero() }
-func (d deadlineCtx) Done() <-chan struct{}       { return nil }
-func (d deadlineCtx) Value(any) any               { return nil }
-func (d deadlineCtx) Err() error {
+func (d invCtx) Deadline() (time.Time, bool) { return d.t, !d.t.IsZero() }
+func (d invCtx) Done() <-chan struct{}       { return nil }
+func (d invCtx) Value(any) any               { return nil }
+func (d invCtx) Err() error {
 	if !d.t.IsZero() && !time.Now().Before(d.t) {
 		return context.DeadlineExceeded
 	}
 	return nil
 }
+
+// TraceSpanContext lets trace.FromContext read the carried identity
+// without a Value-chain walk.
+func (d invCtx) TraceSpanContext() trace.SpanContext { return d.sc }
 
 // Arg returns argument i or an error mentioning the method, keeping
 // handler argument unpacking terse.

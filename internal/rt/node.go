@@ -8,6 +8,7 @@ import (
 	"repro/internal/loid"
 	"repro/internal/metrics"
 	"repro/internal/oa"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -46,6 +47,11 @@ type Node struct {
 
 	pending [pendingShards]pendingShard
 	nextMsg atomic.Uint64
+
+	// tracer collects invocation spans for this node's objects and
+	// callers; nil (the default) disables tracing at the cost of one
+	// atomic load per call.
+	tracer atomic.Pointer[trace.Tracer]
 
 	addr oa.Address // cached: ReplyTo of every outgoing request
 
@@ -91,6 +97,14 @@ func (n *Node) Address() oa.Address { return n.addr }
 
 // Registry returns the node's metrics registry.
 func (n *Node) Registry() *metrics.Registry { return n.reg }
+
+// SetTracer installs the node's span collector; nil disables tracing.
+// Tracers are typically shared by every node of a process so multi-hop
+// traces can be assembled in one place.
+func (n *Node) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
+
+// Tracer returns the installed tracer (nil when tracing is disabled).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer.Load() }
 
 // Spawn activates an object on this node: the impl becomes reachable
 // at the node's address under l. label names the object in metrics

@@ -9,6 +9,7 @@ import (
 	"repro/internal/loid"
 	"repro/internal/metrics"
 	"repro/internal/security"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -99,19 +100,48 @@ func (o *Object) serve(msg *wire.Message) {
 	if o.cReq != nil {
 		o.cReq.Inc()
 	}
+	// A traced request grows a serve span covering the whole method
+	// execution on this object; children of a sampled trace are always
+	// recorded so the trace is complete across hops. Untraced messages
+	// pay only the TraceID comparison.
+	var span *trace.Span
+	if msg.Env.TraceID != 0 {
+		span = o.node.tracer.Load().Child(
+			trace.SpanContext{TraceID: msg.Env.TraceID, SpanID: msg.Env.SpanID},
+			"serve", msg.Method, o.component())
+	}
 	// A request whose propagated deadline already expired is not worth
 	// running: the caller has given up, and the answer — if one is
 	// still listening — is definitive either way.
 	if msg.Env.Deadline != 0 && time.Now().UnixNano() > msg.Env.Deadline {
+		if span != nil {
+			span.Event("deadline", "expired before dispatch")
+			span.Finish(wire.ErrDeadlineExceeded.String())
+		}
 		if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
 			o.node.replyTo(msg, wire.ErrDeadlineExceeded, "deadline expired before dispatch", nil)
 		}
 		return
 	}
-	code, errText, results := o.safeDispatch(msg)
+	code, errText, results := o.safeDispatch(msg, span)
+	if span != nil {
+		if errText != "" {
+			span.Event("error", errText)
+		}
+		span.Finish(code.String())
+	}
 	if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
 		o.node.replyTo(msg, code, errText, results)
 	}
+}
+
+// component names this object in trace spans: its metric label when it
+// has one, else the hosting node's name.
+func (o *Object) component() string {
+	if o.label != "" {
+		return o.label
+	}
+	return o.node.name
 }
 
 // safeDispatch runs dispatch with panic confinement: a panicking
@@ -119,19 +149,19 @@ func (o *Object) serve(msg *wire.Message) {
 // as an object exception, rather than taking the whole node down —
 // the runtime-level half of the Host Object's duty to "report object
 // exceptions" (§2.3).
-func (o *Object) safeDispatch(msg *wire.Message) (code wire.Code, errText string, results [][]byte) {
+func (o *Object) safeDispatch(msg *wire.Message, span *trace.Span) (code wire.Code, errText string, results [][]byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			o.node.cExcept.Inc()
 			code, errText, results = wire.ErrApp, fmt.Sprintf("object exception in %s: %v", msg.Method, r), nil
 		}
 	}()
-	return o.dispatch(msg)
+	return o.dispatch(msg, span)
 }
 
 // dispatch enforces MayI, answers runtime-provided member functions,
 // and routes the rest to the Impl.
-func (o *Object) dispatch(msg *wire.Message) (wire.Code, string, [][]byte) {
+func (o *Object) dispatch(msg *wire.Message, span *trace.Span) (wire.Code, string, [][]byte) {
 	// Every method invocation is performed in the (RA, SA, CA)
 	// environment and checked by the object's MayI (§2.4). MayI itself
 	// is always answerable so callers can probe their own access.
@@ -174,9 +204,20 @@ func (o *Object) dispatch(msg *wire.Message) (wire.Code, string, [][]byte) {
 		}
 		return wire.OK, "", nil
 	}
-	inv := &Invocation{Method: msg.Method, Args: msg.Args, Env: msg.Env, Obj: o}
+	inv := &Invocation{Method: msg.Method, Args: msg.Args, Env: msg.Env, Obj: o, Span: span}
 	if msg.Env.Deadline != 0 {
 		inv.Deadline = time.Unix(0, msg.Env.Deadline)
+	}
+	if span != nil {
+		inv.Trace = span.Context()
+	} else if msg.Env.TraceID != 0 {
+		// No tracer on this node: keep propagating the caller's
+		// identity so downstream hops still join the trace.
+		inv.Trace = trace.SpanContext{
+			TraceID:      msg.Env.TraceID,
+			SpanID:       msg.Env.SpanID,
+			ParentSpanID: msg.Env.ParentSpanID,
+		}
 	}
 	results, err := o.impl.Dispatch(inv)
 	if err != nil {

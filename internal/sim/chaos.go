@@ -8,8 +8,8 @@
 package sim
 
 import (
-	"fmt"
 	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"

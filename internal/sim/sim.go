@@ -20,6 +20,7 @@ import (
 	"repro/internal/loid"
 	"repro/internal/metrics"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -105,6 +106,9 @@ type Config struct {
 	CallTimeout          time.Duration
 	BindingTTL           time.Duration
 	Seed                 int64
+	// TraceSampleEvery, when > 0, installs a tracer sampling one root
+	// invocation in N (1 = trace everything). 0 disables tracing.
+	TraceSampleEvery int
 }
 
 func (c *Config) fill() {
@@ -145,6 +149,9 @@ type Sim struct {
 	// Flat is every object in one slice.
 	Flat    []loid.LOID
 	Clients []*rt.Caller
+	// Tracer is non-nil when Config.TraceSampleEvery > 0; every node in
+	// the deployment records spans into it.
+	Tracer *trace.Tracer
 
 	rng *rand.Rand
 	mu  sync.Mutex
@@ -157,6 +164,10 @@ func Build(cfg Config) (*Sim, error) {
 	impls := implreg.NewRegistry()
 	impls.MustRegister(WorkerImplName, NewWorkerImpl)
 	reg := metrics.NewRegistry()
+	var tracer *trace.Tracer
+	if cfg.TraceSampleEvery > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: cfg.TraceSampleEvery})
+	}
 	sys, err := core.Boot(core.Options{
 		Registry:             reg,
 		Impls:                impls,
@@ -168,11 +179,12 @@ func Build(cfg Config) (*Sim, error) {
 		ClientCacheSize:      cfg.ClientCacheSize,
 		BindingTTL:           cfg.BindingTTL,
 		CallTimeout:          cfg.CallTimeout,
+		Tracer:               tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Sim{Config: cfg, Sys: sys, Reg: reg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s := &Sim{Config: cfg, Sys: sys, Reg: reg, Tracer: tracer, rng: rand.New(rand.NewSource(cfg.Seed))}
 
 	var allMags []loid.LOID
 	for _, j := range sys.Jurisdictions {

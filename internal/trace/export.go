@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline renders one trace as a human-readable hop timeline: spans
+// indented by causal depth, with offsets relative to the trace start,
+// and span events inline. Returns "" if the trace has no spans.
+func Timeline(spans []*Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	byID := make(map[uint64]*Span, len(spans))
+	children := make(map[uint64][]*Span, len(spans))
+	var roots []*Span
+	for _, s := range spans {
+		byID[s.sc.SpanID] = s
+	}
+	for _, s := range spans {
+		if p, ok := byID[s.sc.ParentSpanID]; ok && p != s {
+			children[p.sc.SpanID] = append(children[p.sc.SpanID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	sortSpans := func(ss []*Span) {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start.Before(ss[j].Start) })
+	}
+	sortSpans(roots)
+	for _, cs := range children {
+		sortSpans(cs)
+	}
+	t0 := roots[0].Start
+	end := t0
+	for _, s := range spans {
+		if s.End.After(end) {
+			end = s.End
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %016x — %d spans, %s total\n",
+		spans[0].sc.TraceID, len(spans), fmtDur(end.Sub(t0)))
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		pad := strings.Repeat("  ", depth)
+		fmt.Fprintf(&sb, "%s+%-9s %-9s %-5s %-24s %-20s %s\n",
+			pad, fmtDur(s.Start.Sub(t0)), fmtDur(s.Duration()),
+			s.Kind, s.Name, s.Component, s.Outcome)
+		for _, e := range s.Events {
+			fmt.Fprintf(&sb, "%s  · +%-8s %s: %s\n",
+				pad, fmtDur(e.When.Sub(t0)), e.Name, e.Msg)
+		}
+		for _, c := range children[s.sc.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Durations and timestamps are µs.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  uint64         `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeJSON renders spans as a Chrome trace-event JSON array
+// (loadable in chrome://tracing or Perfetto). Each component becomes a
+// named thread; spans are complete ("X") events and span events are
+// instants ("i").
+func ChromeJSON(spans []*Span) ([]byte, error) {
+	if len(spans) == 0 {
+		return []byte("[]"), nil
+	}
+	t0 := spans[0].Start
+	for _, s := range spans {
+		if s.Start.Before(t0) {
+			t0 = s.Start
+		}
+	}
+	// Stable thread ids per component, in first-seen order.
+	tids := make(map[string]uint64)
+	tidOf := func(component string) uint64 {
+		if id, ok := tids[component]; ok {
+			return id
+		}
+		id := uint64(len(tids) + 1)
+		tids[component] = id
+		return id
+	}
+	us := func(t time.Time) float64 {
+		return float64(t.Sub(t0).Nanoseconds()) / 1e3
+	}
+	var evs []chromeEvent
+	for _, s := range spans {
+		tid := tidOf(s.Component)
+		evs = append(evs, chromeEvent{
+			Name: s.Kind + " " + s.Name,
+			Cat:  s.Kind,
+			Ph:   "X",
+			Ts:   us(s.Start),
+			Dur:  float64(s.Duration().Nanoseconds()) / 1e3,
+			Pid:  s.sc.TraceID,
+			Tid:  tid,
+			Args: map[string]any{
+				"span":    fmt.Sprintf("%016x", s.sc.SpanID),
+				"parent":  fmt.Sprintf("%016x", s.sc.ParentSpanID),
+				"outcome": s.Outcome,
+			},
+		})
+		for _, e := range s.Events {
+			evs = append(evs, chromeEvent{
+				Name: e.Name + ": " + e.Msg,
+				Cat:  "event",
+				Ph:   "i",
+				Ts:   us(e.When),
+				Pid:  s.sc.TraceID,
+				Tid:  tid,
+				Args: map[string]any{"scope": "t"},
+			})
+		}
+	}
+	// Thread-name metadata so viewers label rows by component.
+	pid := spans[0].sc.TraceID
+	for name, id := range tids {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return json.Marshal(evs)
+}

@@ -112,6 +112,12 @@ type Env struct {
 	// made on behalf of this invocation inherit the remaining budget
 	// instead of each hop arming an independent full timer.
 	Deadline int64
+	// TraceID/SpanID/ParentSpanID (v3) carry the distributed-tracing
+	// identity of the caller's span, so the serving side can parent its
+	// own span causally. All-zero means the invocation is not traced.
+	TraceID      uint64
+	SpanID       uint64
+	ParentSpanID uint64
 }
 
 // Message is one Legion protocol unit.
@@ -132,8 +138,13 @@ type Message struct {
 }
 
 const (
-	magic   = 0x4C47 // "LG"
-	version = 2 // v2 added Env.Deadline
+	magic = 0x4C47 // "LG"
+	// version is what we emit. v2 added Env.Deadline; v3 added the
+	// trace triple (TraceID/SpanID/ParentSpanID). The decoder accepts
+	// both v2 and v3 frames: a v2 frame simply has no trace fields, so
+	// they decode as zero ("not traced").
+	version   = 3
+	oldestVer = 2
 )
 
 // maxArgs bounds the argument vector; generous but prevents a corrupt
@@ -183,9 +194,16 @@ func (m *Message) Marshal(dst []byte) []byte { return m.AppendMarshal(dst) }
 // extended slice. It is the allocation-transparent form used with
 // pooled buffers (GetBuf/Put).
 func (m *Message) AppendMarshal(dst []byte) []byte {
+	return m.appendMarshal(dst, version)
+}
+
+// appendMarshal emits a frame of the requested protocol version. Only
+// the current version is emitted in production; tests use older
+// versions to pin decoder compatibility.
+func (m *Message) appendMarshal(dst []byte, ver byte) []byte {
 	var hdr [4]byte
 	binary.BigEndian.PutUint16(hdr[0:2], magic)
-	hdr[2] = version
+	hdr[2] = ver
 	hdr[3] = byte(m.Kind)
 	dst = append(dst, hdr[:]...)
 	dst = binary.BigEndian.AppendUint64(dst, m.ID)
@@ -195,6 +213,11 @@ func (m *Message) AppendMarshal(dst []byte) []byte {
 	dst = m.Env.Security.Marshal(dst)
 	dst = m.Env.Calling.Marshal(dst)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Env.Deadline))
+	if ver >= 3 {
+		dst = binary.BigEndian.AppendUint64(dst, m.Env.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, m.Env.SpanID)
+		dst = binary.BigEndian.AppendUint64(dst, m.Env.ParentSpanID)
+	}
 	dst = m.ReplyTo.Marshal(dst)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Code))
 	dst = appendString(dst, m.ErrText)
@@ -215,8 +238,9 @@ func Unmarshal(src []byte) (*Message, error) {
 	if binary.BigEndian.Uint16(src[0:2]) != magic {
 		return nil, fmt.Errorf("wire: bad magic %#x", src[0:2])
 	}
-	if src[2] != version {
-		return nil, fmt.Errorf("wire: unsupported version %d", src[2])
+	ver := src[2]
+	if ver < oldestVer || ver > version {
+		return nil, fmt.Errorf("wire: unsupported version %d", ver)
 	}
 	m := &Message{Kind: Kind(src[3])}
 	src = src[4:]
@@ -246,6 +270,15 @@ func Unmarshal(src []byte) (*Message, error) {
 	}
 	m.Env.Deadline = int64(binary.BigEndian.Uint64(src[:8]))
 	src = src[8:]
+	if ver >= 3 {
+		if len(src) < 24 {
+			return nil, fmt.Errorf("wire: short trace ids")
+		}
+		m.Env.TraceID = binary.BigEndian.Uint64(src[:8])
+		m.Env.SpanID = binary.BigEndian.Uint64(src[8:16])
+		m.Env.ParentSpanID = binary.BigEndian.Uint64(src[16:24])
+		src = src[24:]
+	}
 	if m.ReplyTo, src, err = oa.Unmarshal(src); err != nil {
 		return nil, fmt.Errorf("wire: reply-to: %w", err)
 	}
