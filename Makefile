@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-invoke vet check experiments
+.PHONY: all build test race bench bench-invoke vet check experiments crash-test
 
 all: check
 
@@ -15,9 +15,18 @@ test:
 	$(GO) test ./...
 
 # The fast-path packages (sharded binding cache, lock-slimmed rt,
-# pooled transports) are the ones worth paying the race detector for.
+# pooled transports) plus the durability layer (checkpoint loop vs
+# dispatch vs failover) are the ones worth paying the race detector for.
 race:
-	$(GO) test -race ./internal/binding ./internal/rt ./internal/transport
+	$(GO) test -race ./internal/binding ./internal/rt ./internal/transport \
+		./internal/persist ./internal/magistrate
+
+# Crash-recovery smoke: the chaos/recovery tests and a quick E18 run
+# (host failover, churn with checkpoints, full -data-dir restart).
+crash-test:
+	$(GO) test -race ./internal/persist ./internal/magistrate
+	$(GO) test -race -run 'TestCrash|TestRestart|TestHealthDetector' ./internal/core ./internal/sim
+	$(GO) run ./cmd/legion-bench -quick -run E18
 
 # All microbenchmarks, with allocation counts.
 bench:

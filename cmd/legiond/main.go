@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/debughttp"
@@ -43,6 +44,9 @@ func main() {
 	seq := flag.Uint64("seq", 100, "host: unique host sequence number")
 	magIdx := flag.Int("magistrate", 0, "host: index of the jurisdiction to join")
 	vault := flag.String("vault", "", "core: directory for on-disk jurisdiction storage (default: in-memory)")
+	dataDir := flag.String("data-dir", "", "core: durable home for the whole system — OPRs, checkpoints, and tables persist here across daemon restarts")
+	ckptEvery := flag.Duration("checkpoint", 0, "checkpoint residents' state this often (0 disables; core and host modes)")
+	syncOPRs := flag.Bool("sync", false, "core: fsync every persistent-representation write")
 	debugAddr := flag.String("debug-addr", "", "serve the observability surface (metrics, traces, health, pprof) on this address; empty disables it")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "trace one invocation in N (1 = every invocation); effective with -debug-addr")
 	flag.Parse()
@@ -61,6 +65,14 @@ func main() {
 			LeafAgents:           *leaves,
 			AgentFanout:          *fanout,
 			VaultDir:             *vault,
+			DataDir:              *dataDir,
+			SyncOPRs:             *syncOPRs,
+			CheckpointEvery:      *ckptEvery,
+		}
+		if *dataDir != "" && *ckptEvery == 0 {
+			// A durable system should checkpoint by default; otherwise a
+			// restart only preserves deactivated objects.
+			opts.CheckpointEvery = time.Second
 		}
 		if *debugAddr != "" {
 			// The debug surface implies observability: install a tracer
@@ -92,7 +104,23 @@ func main() {
 		fmt.Printf("legiond: core up — LegionClass at %s, %d jurisdiction(s), %d agent(s)\n",
 			ni.LegionClass, len(sys.Jurisdictions), len(sys.Agents))
 		fmt.Printf("legiond: contact sheet written to %s\n", *info)
+		if *dataDir != "" {
+			fmt.Printf("legiond: durable state under %s (checkpoint every %s)\n", *dataDir, opts.CheckpointEvery)
+		}
 		waitForSignal()
+		if *dataDir != "" {
+			// A final checkpoint round plus the table snapshot makes the
+			// shutdown lossless; the next `legiond -data-dir` continues
+			// where this one stopped.
+			if n, err := sys.CheckpointNow(); err != nil {
+				log.Printf("legiond: final checkpoint (%d saved): %v", n, err)
+			}
+			if err := sys.SaveSnapshot(); err != nil {
+				log.Printf("legiond: save snapshot: %v", err)
+			} else {
+				fmt.Printf("legiond: state saved to %s\n", *dataDir)
+			}
+		}
 	case "host":
 		ni, err := core.LoadNetInfo(*info)
 		if err != nil {
@@ -102,6 +130,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("legiond: attach: %v", err)
 		}
+		remote.CheckpointEvery = *ckptEvery
 		defer remote.Close()
 		joined, err := remote.JoinHost(*seq, impls, *magIdx)
 		if err != nil {

@@ -309,6 +309,19 @@ func (m *Metaclass) RestoreState(state []byte) error {
 	return nil
 }
 
+// ForgetBindings drops every direct class binding while keeping the
+// Class Identifier counter, responsibility pairs, and names. A restored
+// metaclass in a fresh process calls this before bootstrap re-registers
+// the core classes at their new addresses: a stale direct binding would
+// be served verbatim by LocateClass, whereas a missing one routes the
+// lookup through the responsibility pair — which ends at a class object
+// that can consult its Magistrate and reactivate.
+func (m *Metaclass) ForgetBindings() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bindings = make(map[loid.LOID]oa.Address)
+}
+
 // ClassName reports the registered name for a class id (diagnostics).
 func (m *Metaclass) ClassName(id uint64) (string, bool) {
 	m.mu.Lock()

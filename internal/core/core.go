@@ -67,6 +67,23 @@ type Options struct {
 	// with an on-disk FileStore under VaultDir/j<N> instead of memory;
 	// Object Persistent Addresses are then real file names (§3.1.1).
 	VaultDir string
+	// DataDir makes the whole system restartable: jurisdiction storage
+	// goes on disk under DataDir/j<N> (overriding VaultDir), and Boot
+	// restores the metaclass, core class, and magistrate tables from
+	// DataDir/system.state when one exists (written by SaveSnapshot).
+	// Objects come back inert from their newest persistent
+	// representation and reactivate on first touch.
+	DataDir string
+	// SyncOPRs fsyncs every persistent-representation write (and its
+	// directory) before it is acknowledged — survives power loss, costs
+	// a disk flush per checkpoint. Only meaningful with on-disk storage.
+	SyncOPRs bool
+	// CheckpointEvery, when > 0, starts a checkpoint loop on every Host
+	// Object: each interval, residents whose state changed since the
+	// last round are snapshotted into the Jurisdiction's store via the
+	// Magistrate, so a host crash loses at most one interval of work.
+	// Zero disables checkpointing (idle objects then cost nothing).
+	CheckpointEvery time.Duration
 	// Tracer, if set, is installed on every node Boot creates, so each
 	// hop of the binding/invocation chain records spans into it. Nil
 	// disables tracing (the hot path pays one atomic load).
@@ -111,7 +128,8 @@ type Jurisdiction struct {
 	HostAddrs      []oa.Address
 	Store          persist.Store
 
-	mag *magistrate.Magistrate
+	mag       *magistrate.Magistrate
+	hostImpls []*host.Host
 }
 
 // StoredOPRs counts the Object Persistent Representations currently in
@@ -128,6 +146,10 @@ func (j *Jurisdiction) StoredOPRs() int {
 // configuration (activation filters, TTLs) — the jurisdiction owner's
 // prerogative.
 func (j *Jurisdiction) MagistrateImpl() *magistrate.Magistrate { return j.mag }
+
+// HostImpls exposes the in-process Host Objects (checkpoint control,
+// chaos injection).
+func (j *Jurisdiction) HostImpls() []*host.Host { return j.hostImpls }
 
 // System is a booted Legion instance.
 type System struct {
@@ -229,6 +251,15 @@ func (s *System) tune(c *rt.Caller) {
 }
 
 func (s *System) bootstrap() error {
+	// 0. A previous life's snapshot, if DataDir holds one. Restores are
+	// threaded through the ordinary bootstrap below: each component is
+	// built as usual, then handed its saved tables before anything can
+	// call it.
+	snap, err := s.loadSnapshot()
+	if err != nil {
+		return err
+	}
+
 	// 1. LegionClass, started exactly once, out-of-band (§4.2.1).
 	metaNode, err := s.newNode("legionclass")
 	if err != nil {
@@ -237,6 +268,16 @@ func (s *System) bootstrap() error {
 	s.meta, err = class.NewMetaclass()
 	if err != nil {
 		return err
+	}
+	if snap != nil && len(snap.Metaclass) > 0 {
+		if err := s.meta.RestoreState(snap.Metaclass); err != nil {
+			return fmt.Errorf("core: restore LegionClass: %w", err)
+		}
+		// Saved direct bindings point at dead addresses; drop them so
+		// class location goes through the responsibility pairs (which
+		// can reactivate) while bootstrap re-registers the core classes
+		// at their new homes moments from now.
+		s.meta.ForgetBindings()
 	}
 	metaCaller := rt.NewCaller(metaNode, loid.LegionClass, nil)
 	s.tune(metaCaller)
@@ -293,6 +334,11 @@ func (s *System) bootstrap() error {
 		if err != nil {
 			return err
 		}
+		if snap != nil && len(snap.Classes[cc.l.String()]) > 0 {
+			if err := impl.RestoreState(snap.Classes[cc.l.String()]); err != nil {
+				return fmt.Errorf("core: restore class %s: %w", cc.name, err)
+			}
+		}
 		caller := rt.NewCaller(node, meta.Self, nil)
 		s.tune(caller)
 		caller.AddBinding(bindingFor(loid.LegionClass, s.LegionClassAddr))
@@ -335,10 +381,17 @@ func (s *System) bootstrap() error {
 	var allMags []loid.LOID
 	for j := 0; j < s.Options.Jurisdictions; j++ {
 		var store persist.Store = persist.NewMemStore()
-		if s.Options.VaultDir != "" {
-			fs, err := persist.NewFileStore(fmt.Sprintf("%s/j%d", s.Options.VaultDir, j))
+		if dir := s.storeRoot(); dir != "" {
+			var fopts []persist.FileOption
+			if s.Options.SyncOPRs {
+				fopts = append(fopts, persist.WithSync())
+			}
+			fs, err := persist.NewFileStore(fmt.Sprintf("%s/j%d", dir, j), fopts...)
 			if err != nil {
 				return err
+			}
+			if q := fs.Quarantined(); q > 0 {
+				s.Reg.Counter("persist/quarantined").Add(uint64(q))
 			}
 			store = fs
 		}
@@ -371,6 +424,7 @@ func (s *System) bootstrap() error {
 			}
 			juris.Hosts = append(juris.Hosts, hl)
 			juris.HostAddrs = append(juris.HostAddrs, node.Address())
+			juris.hostImpls = append(juris.hostImpls, hobj)
 		}
 
 		magSeq++
@@ -381,6 +435,14 @@ func (s *System) bootstrap() error {
 		}
 		mag := magistrate.New(ml, juris.Store)
 		mag.BindingTTL = s.Options.BindingTTL
+		if snap != nil && j < len(snap.Magistrates) && len(snap.Magistrates[j]) > 0 {
+			if err := mag.RestoreState(snap.Magistrates[j]); err != nil {
+				return fmt.Errorf("core: restore magistrate %d: %w", j, err)
+			}
+			// The saved host list names the previous process's
+			// endpoints; this life's hosts AddHost themselves below.
+			mag.ForgetHosts()
+		}
 		leaf := s.leafFor(j)
 		magCaller := rt.NewCaller(node, ml, nil)
 		s.tune(magCaller)
@@ -402,6 +464,11 @@ func (s *System) bootstrap() error {
 		for i, hl := range juris.Hosts {
 			if err := mcl.AddHost(hl, juris.HostAddrs[i]); err != nil {
 				return err
+			}
+		}
+		if s.Options.CheckpointEvery > 0 {
+			for _, hobj := range juris.hostImpls {
+				hobj.StartCheckpointer(ml, node.Address(), s.Options.CheckpointEvery)
 			}
 		}
 		s.Jurisdictions = append(s.Jurisdictions, juris)
@@ -565,6 +632,11 @@ func (s *System) Close() {
 		return
 	}
 	s.closed = true
+	for _, j := range s.Jurisdictions {
+		for _, h := range j.hostImpls {
+			h.StopCheckpointer()
+		}
+	}
 	for _, n := range s.nodes {
 		n.Close()
 	}

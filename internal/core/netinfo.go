@@ -111,11 +111,17 @@ type Remote struct {
 	Info  *NetInfo
 	Trans transport.Transport
 	Reg   *metrics.Registry
+	// CheckpointEvery, when > 0, starts a checkpoint loop on every host
+	// this process joins: resident state flows back to the owning
+	// Magistrate's store, so losing this process loses at most one
+	// interval of work.
+	CheckpointEvery time.Duration
 
 	leafLOID loid.LOID
 	leafAddr oa.Address
 
-	nodes []*rt.Node
+	nodes  []*rt.Node
+	joined []*host.Host
 }
 
 // Attach prepares a process to talk to the system described by ni over
@@ -195,12 +201,19 @@ func (r *Remote) JoinHost(seq uint64, impls *implreg.Registry, magistrateIdx int
 	if err := magistrate.NewClient(admin, magL).AddHost(hl, node.Address()); err != nil {
 		return nil, fmt.Errorf("core: AddHost: %w", err)
 	}
+	if r.CheckpointEvery > 0 {
+		h.StartCheckpointer(magL, magAddr, r.CheckpointEvery)
+	}
+	r.joined = append(r.joined, h)
 	return &JoinedHost{Host: h, LOID: hl, Node: node}, nil
 }
 
 // Close tears down the process-local nodes (the remote system is
 // unaffected).
 func (r *Remote) Close() {
+	for _, h := range r.joined {
+		h.StopCheckpointer()
+	}
 	for _, n := range r.nodes {
 		n.Close()
 	}

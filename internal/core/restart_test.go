@@ -1,0 +1,134 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/loid"
+	"repro/internal/magistrate"
+	"repro/internal/wire"
+)
+
+// TestRestartPreservesInertState: an object deactivated to disk before
+// the process dies comes back — in a brand-new Boot over the same
+// DataDir — with its state intact, through the ordinary activation
+// path. This is the clean half of "crash a Host, lose nothing".
+func TestRestartPreservesInertState(t *testing.T) {
+	dir := t.TempDir()
+	sys := bootSys(t, Options{DataDir: dir})
+	cl, clsL, err := sys.DeriveClass("Counter", "counter", counterInterface(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := cl.Create(nil, loid.Nil, loid.Nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := sys.NewClient(loid.NewNoKey(300, 1))
+	for i := 0; i < 2; i++ {
+		if res, err := user.Call(obj, "Inc"); err != nil || res.Code != wire.OK {
+			t.Fatalf("Inc: %v %v", res, err)
+		}
+	}
+	mag := magistrate.NewClient(sys.BootClient(), sys.Jurisdictions[0].Magistrate)
+	if err := mag.Deactivate(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := mag.Deactivate(clsL); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	sys2 := bootSys(t, Options{DataDir: dir})
+	user2, _ := sys2.NewClient(loid.NewNoKey(300, 2))
+	res, err := user2.Call(obj, "Inc")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("Inc after restart: %v %v", res, err)
+	}
+	raw, _ := res.Result(0)
+	if v, _ := wire.AsUint64(raw); v != 3 {
+		t.Errorf("counter = %d after restart, want 3", v)
+	}
+}
+
+// TestRestartPreservesActiveState: an object still RUNNING when the
+// snapshot is taken survives a full restart via its crash checkpoint —
+// the magistrate record is saved pointing at the newest checkpoint, and
+// the first post-restart touch reactivates from it. The class object
+// (also running) survives the same way.
+func TestRestartPreservesActiveState(t *testing.T) {
+	dir := t.TempDir()
+	sys := bootSys(t, Options{DataDir: dir, CheckpointEvery: time.Hour})
+	cl, _, err := sys.DeriveClass("Counter", "counter", counterInterface(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := cl.Create(nil, loid.Nil, loid.Nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := sys.NewClient(loid.NewNoKey(300, 1))
+	for i := 0; i < 3; i++ {
+		if res, err := user.Call(obj, "Inc"); err != nil || res.Code != wire.OK {
+			t.Fatalf("Inc: %v %v", res, err)
+		}
+	}
+	// Flush running state to the jurisdiction store, then the tables.
+	if n, err := sys.CheckpointNow(); err != nil || n == 0 {
+		t.Fatalf("CheckpointNow = %d, %v", n, err)
+	}
+	if err := sys.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close() // no Deactivate: the running copies just vanish
+
+	sys2 := bootSys(t, Options{DataDir: dir, CheckpointEvery: time.Hour})
+	user2, _ := sys2.NewClient(loid.NewNoKey(300, 2))
+	res, err := user2.Call(obj, "Inc")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("Inc after restart: %v %v", res, err)
+	}
+	raw, _ := res.Result(0)
+	if v, _ := wire.AsUint64(raw); v != 4 {
+		t.Errorf("counter = %d after restart, want 4 (3 checkpointed + 1)", v)
+	}
+
+	// A second create on the restarted system must not reuse LOIDs:
+	// the metaclass restored its Class Identifier counter.
+	cl2, cls2, err := sys2.DeriveClass("Counter2", "counter", counterInterface(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls2.ClassID == obj.ClassID {
+		t.Errorf("restarted metaclass reissued class id %d", cls2.ClassID)
+	}
+	if _, _, err := cl2.Create(nil, loid.Nil, loid.Nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartWithCorruptSnapshot: a damaged system.state must not keep
+// the system from booting — it is set aside and the boot starts fresh,
+// the same availability-over-amnesia stance the store takes for torn
+// OPRs.
+func TestRestartWithCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	sys := bootSys(t, Options{DataDir: dir})
+	if err := sys.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	path := sys.snapshotPath()
+	if err := os.WriteFile(path, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := bootSys(t, Options{DataDir: dir})
+	if got := sys2.Reg.Counter("persist/quarantined").Value(); got != 1 {
+		t.Errorf("persist/quarantined = %d, want 1", got)
+	}
+}

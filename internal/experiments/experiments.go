@@ -106,6 +106,7 @@ func All() []Runner {
 		{"E15", "wide-area-latency", RunE15},
 		{"E16", "fault-churn", RunE16},
 		{"E17", "trace-attribution", RunE17},
+		{"E18", "crash-recovery", RunE18},
 	}
 }
 

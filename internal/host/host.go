@@ -74,6 +74,7 @@ type Host struct {
 	cpuLimit uint64               // max concurrently active objects; 0 = unlimited
 	memLimit uint64               // advisory memory budget, reported via GetState
 	obj      *rt.Object
+	ckpt     *checkpointer // periodic durability loop; nil when off
 }
 
 // New builds a Host Object for node. impls is the implementation

@@ -95,6 +95,17 @@ func (cl *Client) ActivateCtx(ctx context.Context, l loid.LOID, hostHint loid.LO
 	return wire.AsBinding(raw)
 }
 
+// Checkpoint files a crash-recovery snapshot of an object running on
+// host h: the newest checkpoint is what HostFailed recovery activates
+// from. Hosts call this from their checkpoint loops.
+func (cl *Client) Checkpoint(h, l loid.LOID, impl string, state []byte) error {
+	res, err := cl.c.Call(cl.m, "Checkpoint", wire.LOID(h), wire.LOID(l), wire.String(impl), state)
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
 // Deactivate moves l to an Object Persistent Representation on the
 // jurisdiction's storage.
 func (cl *Client) Deactivate(l loid.LOID) error {

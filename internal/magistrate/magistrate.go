@@ -10,6 +10,7 @@ package magistrate
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,9 +19,11 @@ import (
 	"repro/internal/host"
 	"repro/internal/idl"
 	"repro/internal/loid"
+	"repro/internal/metrics"
 	"repro/internal/oa"
 	"repro/internal/persist"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -53,6 +56,12 @@ var Interface = idl.NewInterface("LegionMagistrate",
 			{Name: "object", Type: idl.TLOID},
 			{Name: "impl", Type: idl.TString},
 			{Name: "state", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "Checkpoint",
+		Params: []idl.Param{
+			{Name: "host", Type: idl.TLOID},
+			{Name: "object", Type: idl.TLOID},
+			{Name: "impl", Type: idl.TString},
+			{Name: "state", Type: idl.TBytes}}},
 	idl.MethodSig{Name: "GetBinding",
 		Params:  []idl.Param{{Name: "object", Type: idl.TLOID}},
 		Returns: []idl.Param{{Name: "b", Type: idl.TBinding}}},
@@ -73,7 +82,12 @@ type ActivationFilter func(object loid.LOID, impl string, onHost loid.LOID) erro
 type record struct {
 	impl    string
 	oprAddr persist.PersistentAddress // set iff inert
-	active  bool
+	// ckptAddr is the newest crash-recovery checkpoint of an ACTIVE
+	// object (Host checkpointers ship these via Checkpoint). If the
+	// host dies, HostFailed promotes it to oprAddr so the object
+	// reactivates with its checkpointed state instead of a blank one.
+	ckptAddr persist.PersistentAddress
+	active   bool
 	// activating marks an in-flight activation: concurrent Activate
 	// calls wait on it rather than starting the object a second time
 	// on another host.
@@ -167,6 +181,8 @@ func (m *Magistrate) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		return [][]byte{wire.LOIDList(ls)}, nil
 	case "Register", "ReceiveOPR":
 		return m.register(inv)
+	case "Checkpoint":
+		return m.checkpoint(inv)
 	case "Activate":
 		return m.activate(inv)
 	case "Deactivate":
@@ -267,11 +283,70 @@ func (m *Magistrate) register(inv *rt.Invocation) ([][]byte, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if old, ok := m.table[l.ID()]; ok && old.oprAddr != "" {
-		// Replace a previous inert representation.
-		_ = m.store.Delete(old.oprAddr)
+	if old, ok := m.table[l.ID()]; ok {
+		// Replace any previous persistent representations.
+		if old.oprAddr != "" {
+			_ = m.store.Delete(old.oprAddr)
+		}
+		if old.ckptAddr != "" {
+			_ = m.store.Delete(old.ckptAddr)
+		}
 	}
 	m.table[l.ID()] = &record{impl: implName, oprAddr: oprAddr}
+	return nil, nil
+}
+
+// checkpoint files a crash-recovery snapshot of an active object into
+// the Jurisdiction's store. Only the newest checkpoint is kept. A
+// checkpoint for an object the Magistrate no longer believes active is
+// dropped: the deactivation path has already persisted authoritative
+// (post-shutdown) state.
+func (m *Magistrate) checkpoint(inv *rt.Invocation) ([][]byte, error) {
+	fromHost, err := argLOID(inv, 0)
+	if err != nil {
+		return nil, err
+	}
+	l, err := argLOID(inv, 1)
+	if err != nil {
+		return nil, err
+	}
+	implName, err := argString(inv, 2)
+	if err != nil {
+		return nil, err
+	}
+	state, err := inv.Arg(3)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	rec, ok := m.table[l.ID()]
+	live := ok && rec.active && rec.host.SameObject(fromHost)
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("magistrate %v: checkpoint for unknown object %v", m.self, l)
+	}
+	if !live {
+		return nil, nil // deactivated or migrated since the host sampled it
+	}
+	newAddr, err := m.store.Put(persist.OPR{LOID: l, Impl: implName, State: state})
+	if err != nil {
+		return nil, fmt.Errorf("magistrate %v: checkpoint %v: %w", m.self, l, err)
+	}
+	m.mu.Lock()
+	rec2, ok := m.table[l.ID()]
+	if !ok || rec2 != rec || !rec2.active || !rec2.host.SameObject(fromHost) {
+		// The object's life changed while we wrote; the new file is
+		// not the truth anymore.
+		m.mu.Unlock()
+		_ = m.store.Delete(newAddr)
+		return nil, nil
+	}
+	old := rec2.ckptAddr
+	rec2.ckptAddr = newAddr
+	m.mu.Unlock()
+	if old != "" {
+		_ = m.store.Delete(old)
+	}
 	return nil, nil
 }
 
@@ -288,27 +363,42 @@ func (m *Magistrate) activate(inv *rt.Invocation) ([][]byte, error) {
 			return nil, err
 		}
 	}
+	b, known, err := m.activateLocal(inv.Ctx(), l, hint)
+	if !known {
+		// Delegate down the hierarchy (§2.2).
+		if out, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
+			b, err := sc.ActivateCtx(inv.Ctx(), l, hint)
+			if err != nil {
+				return nil, err
+			}
+			return [][]byte{wire.Binding(b)}, nil
+		}); delegated {
+			return out, derr
+		}
+		return nil, fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{wire.Binding(b)}, nil
+}
+
+// activateLocal activates an object this jurisdiction knows directly.
+// known reports whether the object is in the local table at all (false
+// lets the caller try hierarchy delegation). Both the Activate method
+// and crash reactivation funnel through here.
+func (m *Magistrate) activateLocal(ctx context.Context, l, hint loid.LOID) (b binding.Binding, known bool, err error) {
 	for {
 		m.mu.Lock()
 		rec, ok := m.table[l.ID()]
 		if !ok {
 			m.mu.Unlock()
-			// Delegate down the hierarchy (§2.2).
-			if out, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
-				b, err := sc.ActivateCtx(inv.Ctx(), l, hint)
-				if err != nil {
-					return nil, err
-				}
-				return [][]byte{wire.Binding(b)}, nil
-			}); delegated {
-				return out, derr
-			}
-			return nil, fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
+			return binding.Binding{}, false, nil
 		}
 		if rec.active {
 			b := m.bindingLocked(l, rec.addr)
 			m.mu.Unlock()
-			return [][]byte{wire.Binding(b)}, nil
+			return b, true, nil
 		}
 		if rec.activating {
 			// Another worker is starting this object; wait for the
@@ -320,38 +410,48 @@ func (m *Magistrate) activate(inv *rt.Invocation) ([][]byte, error) {
 		h, err := m.pickHostLocked(hint)
 		if err != nil {
 			m.mu.Unlock()
-			return nil, err
+			return binding.Binding{}, true, err
 		}
 		implName, oprAddr := rec.impl, rec.oprAddr
 		if m.filter != nil {
 			if ferr := m.filter(l, implName, h.l); ferr != nil {
 				m.mu.Unlock()
-				return nil, fmt.Errorf("magistrate %v refuses to activate %v: %w", m.self, l, ferr)
+				return binding.Binding{}, true, fmt.Errorf("magistrate %v refuses to activate %v: %w", m.self, l, ferr)
 			}
 		}
 		rec.activating = true
 		m.mu.Unlock()
 
-		results, err := m.startOn(inv.Ctx(), l, rec, h, oprAddr)
+		b, err := m.startOn(ctx, l, rec, h, implName, oprAddr)
 		m.mu.Lock()
 		rec.activating = false
 		m.cond.Broadcast()
 		m.mu.Unlock()
-		return results, err
+		return b, true, err
 	}
 }
 
 // startOn performs the unlocked portion of an activation; exactly one
 // goroutine runs it per object at a time (the activating guard).
-func (m *Magistrate) startOn(ctx context.Context, l loid.LOID, rec *record, h hostEntry, oprAddr persist.PersistentAddress) ([][]byte, error) {
+func (m *Magistrate) startOn(ctx context.Context, l loid.LOID, rec *record, h hostEntry, implName string, oprAddr persist.PersistentAddress) (binding.Binding, error) {
 	opr, err := m.store.Get(oprAddr)
+	if errors.Is(err, persist.ErrCorrupt) {
+		// The representation is damaged (now quarantined by the store).
+		// Availability beats amnesia: bring the object back with empty
+		// state rather than leaving it permanently unactivatable.
+		m.reg().Counter("mag/opr_corrupt").Inc()
+		sp := m.tracer().RootAlways("serve", "opr.corrupt", "magistrate")
+		sp.Event("opr.corrupt", fmt.Sprintf("%v: %v", l, err))
+		sp.Finish(wire.ErrApp.String())
+		opr, err = persist.OPR{LOID: l, Impl: implName}, nil
+	}
 	if err != nil {
-		return nil, fmt.Errorf("magistrate %v: opr for %v: %w", m.self, l, err)
+		return binding.Binding{}, fmt.Errorf("magistrate %v: opr for %v: %w", m.self, l, err)
 	}
 	hc := host.NewClient(m.obj.Caller(), h.l)
 	addr, err := hc.StartObjectCtx(ctx, l, opr.Impl, opr.State)
 	if err != nil {
-		return nil, fmt.Errorf("magistrate %v: start %v on %v: %w", m.self, l, h.l, err)
+		return binding.Binding{}, fmt.Errorf("magistrate %v: start %v on %v: %w", m.self, l, h.l, err)
 	}
 	// The state now lives in the running object; drop the stale OPR.
 	_ = m.store.Delete(oprAddr)
@@ -361,29 +461,40 @@ func (m *Magistrate) startOn(ctx context.Context, l loid.LOID, rec *record, h ho
 	if _, still := m.table[l.ID()]; !still {
 		m.mu.Unlock()
 		_ = hc.KillObject(l)
-		return nil, fmt.Errorf("magistrate %v: object %v deleted during activation", m.self, l)
+		return binding.Binding{}, fmt.Errorf("magistrate %v: object %v deleted during activation", m.self, l)
 	}
 	rec.active = true
 	rec.host = h.l
 	rec.addr = addr
 	rec.oprAddr = ""
+	if rec.ckptAddr != "" && rec.ckptAddr != oprAddr {
+		// A leftover checkpoint from a previous incarnation is stale
+		// the moment the object restarts from the authoritative OPR.
+		_ = m.store.Delete(rec.ckptAddr)
+	}
+	rec.ckptAddr = ""
 	b := m.bindingLocked(l, addr)
 	m.mu.Unlock()
-	return [][]byte{wire.Binding(b)}, nil
+	return b, nil
 }
 
 // HostFailed records the crash of a host (invoked by whatever failure
 // detector notices it — in the simulator, the chaos controller). Every
-// object that was active on h becomes inert again; because a crash
-// loses the host's volatile memory, an object with no persistent
-// representation restarts from its initial (empty) state — an
-// empty-state OPR is minted for it so the normal Activate path can
-// bring it back on a surviving host. In-flight activations onto h are
-// left to fail on their own and re-examine. The affected LOIDs are
-// returned so callers can log or re-activate them eagerly.
+// object that was active on h becomes inert again. An object with a
+// checkpoint has it promoted to its authoritative OPR, so it comes
+// back with its last checkpointed state; one without any persistent
+// representation restarts from its initial (empty) state — a crash
+// loses the host's volatile memory. In-flight activations onto h are
+// left to fail on their own and re-examine.
+//
+// If surviving hosts remain, the affected objects are reactivated
+// EAGERLY in the background ("the Magistrate can always activate the
+// object using the information in the OPR", §3.1.1) and the class
+// objects are told the new addresses; callers racing ahead of that
+// heal through the ordinary stale-binding refresh path either way.
+// The affected LOIDs are returned so callers can log or wait on them.
 func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for i, he := range m.hosts {
 		if he.l.SameObject(h) {
 			m.hosts = append(m.hosts[:i], m.hosts[i+1:]...)
@@ -398,7 +509,14 @@ func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 		rec.active = false
 		rec.host = loid.Nil
 		rec.addr = oa.Address{}
-		if rec.oprAddr == "" {
+		if rec.ckptAddr != "" {
+			// Recover from the newest checkpoint.
+			if rec.oprAddr != "" {
+				_ = m.store.Delete(rec.oprAddr)
+			}
+			rec.oprAddr = rec.ckptAddr
+			rec.ckptAddr = ""
+		} else if rec.oprAddr == "" {
 			// The running state died with the host; persist a blank
 			// OPR so the record is activatable again.
 			if a, err := m.store.Put(persist.OPR{LOID: id, Impl: rec.impl}); err == nil {
@@ -407,7 +525,83 @@ func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 		}
 		affected = append(affected, id)
 	}
+	survivors := len(m.hosts) > 0
+	m.mu.Unlock()
+	if len(affected) > 0 && survivors {
+		go m.reactivate(affected)
+	}
 	return affected
+}
+
+// reactivate brings crashed residents back on surviving hosts and
+// repairs the naming chain: each object's class is told the new
+// address (NotifyAddress), which updates the instance row and pushes
+// the fresh binding to subscribed Binding Agents. Failures are left
+// for the refresh path — an object that cannot start now will be
+// retried by the next caller that misses on it.
+func (m *Magistrate) reactivate(ls []loid.LOID) {
+	span := m.tracer().RootAlways("call", "reactivate", "magistrate")
+	reg := m.reg()
+	for _, l := range ls {
+		t0 := time.Now()
+		b, known, err := m.activateLocal(context.Background(), l, loid.Nil)
+		if !known || err != nil {
+			span.Event("reactivate", fmt.Sprintf("%v failed: %v", l, err))
+			reg.Counter("mag/reactivate_failed").Inc()
+			continue
+		}
+		reg.Counter("mag/reactivations").Inc()
+		reg.Histogram("mag/reactivate").Observe(time.Since(t0))
+		span.Event("reactivate", fmt.Sprintf("%v -> %v", l, b.Address))
+		m.notifyClass(l, b)
+	}
+	span.Finish(wire.OK.String())
+}
+
+// notifyClass tells an object's class object about its new address so
+// the instance table and any pushed bindings stay coherent. Best
+// effort: a class that cannot be reached (or does not know the
+// instance) is healed later by its own refresh machinery.
+func (m *Magistrate) notifyClass(l loid.LOID, b binding.Binding) {
+	cl := l.ClassLOID()
+	if cl.IsNil() || cl.SameObject(l) {
+		return
+	}
+	res, err := m.obj.Caller().Call(cl, "NotifyAddress", wire.LOID(l), wire.Address(b.Address))
+	if err == nil {
+		err = res.Err()
+	}
+	if err != nil {
+		m.reg().Counter("mag/notify_class_failed").Inc()
+	}
+}
+
+// reg returns the metrics registry of the magistrate's node (Nop when
+// the magistrate is not spawned yet).
+func (m *Magistrate) reg() *metrics.Registry {
+	if m.obj == nil {
+		return metrics.Nop
+	}
+	return m.obj.Node().Registry()
+}
+
+// tracer returns the node's tracer; nil (a no-op) when unspawned.
+func (m *Magistrate) tracer() *trace.Tracer {
+	if m.obj == nil {
+		return nil
+	}
+	return m.obj.Node().Tracer()
+}
+
+// ForgetHosts drops every host and sub-magistrate address learned in a
+// previous life. Used when a snapshot is restored into a fresh
+// process: live hosts re-join via AddHost with their new addresses,
+// and entries that never come back must not linger in the placement
+// pool.
+func (m *Magistrate) ForgetHosts() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hosts = nil
 }
 
 // HostRecovered re-admits a restarted host to the jurisdiction (the
@@ -497,7 +691,13 @@ func (m *Magistrate) deactivateByLOID(l loid.LOID) error {
 	rec.addr = oa.Address{}
 	rec.oprAddr = oprAddr
 	rec.impl = implName
+	ckpt := rec.ckptAddr
+	rec.ckptAddr = ""
 	m.mu.Unlock()
+	if ckpt != "" {
+		// The clean-shutdown OPR supersedes any crash checkpoint.
+		_ = m.store.Delete(ckpt)
+	}
 	return nil
 }
 
@@ -524,7 +724,7 @@ func (m *Magistrate) deleteByLOID(l loid.LOID) error {
 		}
 		return fmt.Errorf("magistrate %v: unknown object %v", m.self, l)
 	}
-	active, hostL, oprAddr := rec.active, rec.host, rec.oprAddr
+	active, hostL, oprAddr, ckptAddr := rec.active, rec.host, rec.oprAddr, rec.ckptAddr
 	delete(m.table, l.ID())
 	m.mu.Unlock()
 
@@ -536,6 +736,9 @@ func (m *Magistrate) deleteByLOID(l loid.LOID) error {
 	}
 	if oprAddr != "" {
 		_ = m.store.Delete(oprAddr)
+	}
+	if ckptAddr != "" {
+		_ = m.store.Delete(ckptAddr)
 	}
 	return nil
 }
@@ -626,27 +829,30 @@ func (m *Magistrate) SaveState() ([]byte, error) {
 		out = s.l.Marshal(out)
 		out = s.addr.Marshal(out)
 	}
-	inert := make([]loid.LOID, 0, len(m.table))
+	// Every record is saved. An active object's running state dies
+	// with the process, so it is recorded as inert-at-restore, pointing
+	// at its newest checkpoint when one exists (empty address = blank
+	// restart). Inert records keep their authoritative OPR address.
+	out = append(out, wire.Uint64(uint64(len(m.table)))...)
 	for l, rec := range m.table {
-		if !rec.active {
-			inert = append(inert, l)
+		addr := rec.oprAddr
+		if rec.active {
+			addr = rec.ckptAddr
 		}
-	}
-	out = append(out, wire.Uint64(uint64(len(inert)))...)
-	for _, l := range inert {
-		rec := m.table[l]
 		out = l.Marshal(out)
 		out = append(out, wire.Uint64(uint64(len(rec.impl)))...)
 		out = append(out, rec.impl...)
-		out = append(out, wire.Uint64(uint64(len(rec.oprAddr)))...)
-		out = append(out, rec.oprAddr...)
+		out = append(out, wire.Uint64(uint64(len(addr)))...)
+		out = append(out, addr...)
 	}
 	return out, nil
 }
 
 // RestoreState implements rt.Impl. Active objects are not part of a
-// magistrate's persistent state (they live on hosts); only the host
-// list and inert records are restored.
+// magistrate's persistent state (they live on hosts); every restored
+// record is inert, carrying the best persistent representation known
+// at save time — a clean OPR, a crash checkpoint, or (for objects that
+// had neither) a freshly minted blank OPR.
 func (m *Magistrate) RestoreState(state []byte) error {
 	if len(state) == 0 {
 		return nil
@@ -724,6 +930,13 @@ func (m *Magistrate) RestoreState(state []byte) error {
 		}
 		oprAddr := persist.PersistentAddress(state[:alen])
 		state = state[alen:]
+		if oprAddr == "" {
+			// Active with no checkpoint at save time: the state is
+			// gone; mint a blank OPR so the record stays activatable.
+			if a, err := m.store.Put(persist.OPR{LOID: l, Impl: implName}); err == nil {
+				oprAddr = a
+			}
+		}
 		m.table[l.ID()] = &record{impl: implName, oprAddr: oprAddr}
 	}
 	if len(state) != 0 {

@@ -1,0 +1,173 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/loid"
+)
+
+// storeConformance is the shared Store contract suite: every Store
+// implementation (MemStore, FileStore, whatever comes next) must pass
+// it unchanged. mk builds a fresh empty store per subtest.
+func storeConformance(t *testing.T, mk func(t *testing.T) Store) {
+	t.Run("RoundTrip", func(t *testing.T) {
+		s := mk(t)
+		o := sampleOPR()
+		addr, err := s.Put(o)
+		if err != nil || addr == "" {
+			t.Fatalf("Put = %q, %v", addr, err)
+		}
+		got, err := s.Get(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LOID != o.LOID || got.Impl != o.Impl || string(got.State) != string(o.State) || !got.Saved.Equal(o.Saved) {
+			t.Errorf("Get = %+v, want %+v", got, o)
+		}
+	})
+	t.Run("SavedStamped", func(t *testing.T) {
+		s := mk(t)
+		addr, _ := s.Put(OPR{LOID: loid.NewNoKey(256, 1), Impl: "x"})
+		got, _ := s.Get(addr)
+		if got.Saved.IsZero() {
+			t.Error("Put did not stamp Saved on a zero-time OPR")
+		}
+	})
+	t.Run("EmptyStateAndImpl", func(t *testing.T) {
+		s := mk(t)
+		addr, err := s.Put(OPR{LOID: loid.NewNoKey(256, 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(addr)
+		if err != nil || got.Impl != "" || len(got.State) != 0 {
+			t.Errorf("empty OPR round trip = %+v, %v", got, err)
+		}
+	})
+	t.Run("NotFound", func(t *testing.T) {
+		s := mk(t)
+		if _, err := s.Get("no-such-address"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get missing = %v, want ErrNotFound", err)
+		}
+		if err := s.Delete("no-such-address"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Delete missing = %v, want ErrNotFound", err)
+		}
+	})
+	t.Run("UniqueAddresses", func(t *testing.T) {
+		s := mk(t)
+		o := sampleOPR()
+		a1, _ := s.Put(o)
+		a2, _ := s.Put(o) // same LOID twice: both live, distinct names
+		if a1 == a2 {
+			t.Fatalf("duplicate address %q for two Puts", a1)
+		}
+		if _, err := s.Get(a1); err != nil {
+			t.Errorf("first record lost: %v", err)
+		}
+	})
+	t.Run("DeleteRemoves", func(t *testing.T) {
+		s := mk(t)
+		addr, _ := s.Put(sampleOPR())
+		if err := s.Delete(addr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(addr); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get after Delete = %v", err)
+		}
+		if err := s.Delete(addr); !errors.Is(err, ErrNotFound) {
+			t.Errorf("double Delete = %v", err)
+		}
+	})
+	t.Run("ListComplete", func(t *testing.T) {
+		s := mk(t)
+		want := map[PersistentAddress]bool{}
+		for i := 0; i < 5; i++ {
+			a, err := s.Put(OPR{LOID: loid.NewNoKey(256, uint64(i+1)), Impl: fmt.Sprintf("impl-%d", i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[a] = true
+		}
+		list, err := s.List()
+		if err != nil || len(list) != len(want) {
+			t.Fatalf("List = %v, %v", list, err)
+		}
+		for _, a := range list {
+			if !want[a] {
+				t.Errorf("List invented address %q", a)
+			}
+		}
+	})
+	t.Run("StateIsolation", func(t *testing.T) {
+		s := mk(t)
+		o := sampleOPR()
+		addr, _ := s.Put(o)
+		o.State[0] = 'X' // caller mutates its buffer after Put
+		got, _ := s.Get(addr)
+		if got.State[0] == 'X' {
+			t.Error("store shares state buffer with the writer")
+		}
+		got.State[0] = 'Y' // reader mutates its copy
+		again, _ := s.Get(addr)
+		if again.State[0] == 'Y' {
+			t.Error("store shares state buffer with the reader")
+		}
+	})
+	t.Run("ConcurrentPuts", func(t *testing.T) {
+		s := mk(t)
+		const n = 32
+		addrs := make([]PersistentAddress, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				a, err := s.Put(OPR{LOID: loid.NewNoKey(256, uint64(i)), Impl: "x", State: []byte{byte(i)}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				addrs[i] = a
+			}(i)
+		}
+		wg.Wait()
+		seen := map[PersistentAddress]bool{}
+		for i, a := range addrs {
+			if seen[a] {
+				t.Fatalf("address %q handed out twice", a)
+			}
+			seen[a] = true
+			got, err := s.Get(a)
+			if err != nil || len(got.State) != 1 || got.State[0] != byte(i) {
+				t.Errorf("record %d = %+v, %v", i, got, err)
+			}
+		}
+	})
+}
+
+func TestMemStoreConformance(t *testing.T) {
+	storeConformance(t, func(t *testing.T) Store { return NewMemStore() })
+}
+
+func TestFileStoreConformance(t *testing.T) {
+	storeConformance(t, func(t *testing.T) Store {
+		s, err := NewFileStore(t.TempDir() + "/vault")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func TestFileStoreSyncConformance(t *testing.T) {
+	storeConformance(t, func(t *testing.T) Store {
+		s, err := NewFileStore(t.TempDir()+"/vault", WithSync())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}

@@ -22,6 +22,11 @@ import (
 // OPR.
 var ErrNotFound = errors.New("persist: no such persistent representation")
 
+// ErrCorrupt reports an OPR whose on-disk record failed validation
+// (bad checksum, torn write, or undecodable payload). A corrupt OPR is
+// quarantined, never silently activated.
+var ErrCorrupt = errors.New("persist: corrupt persistent representation")
+
 // PersistentAddress names an OPR inside one Jurisdiction's storage.
 type PersistentAddress string
 
@@ -57,6 +62,11 @@ func (o OPR) Marshal(dst []byte) []byte {
 // maxStateLen bounds a decoded state blob (256 MiB).
 const maxStateLen = 256 << 20
 
+// maxImplLen bounds a decoded implementation name (64 KiB). Like
+// maxStateLen, it keeps a malformed OPR from driving a huge allocation
+// before the trailer check has a chance to reject it.
+const maxImplLen = 1 << 16
+
 // Unmarshal decodes an OPR.
 func Unmarshal(src []byte) (OPR, error) {
 	var o OPR
@@ -70,7 +80,7 @@ func Unmarshal(src []byte) (OPR, error) {
 	}
 	n := binary.BigEndian.Uint32(src[:4])
 	src = src[4:]
-	if n > 1<<16 {
+	if n > maxImplLen {
 		return OPR{}, fmt.Errorf("persist: impl name length %d exceeds limit", n)
 	}
 	if uint32(len(src)) < n {

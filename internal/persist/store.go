@@ -1,10 +1,13 @@
 package persist
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -83,22 +86,167 @@ func (s *MemStore) Len() int {
 
 // FileStore is a Store backed by a directory: each OPR is one file, and
 // the Object Persistent Address is the file name — exactly the paper's
-// "an Object Persistent Address will typically be a file name".
+// "an Object Persistent Address will typically be a file name". Records
+// are framed with a magic number and a CRC32 so a torn or bit-rotted
+// file is detected rather than activated; writes go through a temp
+// file + rename so a crash mid-Put leaves either the old record or
+// none, never a half-written one.
 type FileStore struct {
 	dir  string
-	mu   sync.Mutex
-	next uint64
+	sync bool
+
+	mu          sync.Mutex
+	next        uint64
+	quarantined int
 }
 
-// NewFileStore creates (if needed) and opens a directory-backed store.
-func NewFileStore(dir string) (*FileStore, error) {
+// FileOption configures a FileStore.
+type FileOption func(*FileStore)
+
+// WithSync makes every Put fsync the record file (and the directory
+// after the rename) before returning. Slower, but a power failure
+// cannot lose an acknowledged checkpoint.
+func WithSync() FileOption {
+	return func(s *FileStore) { s.sync = true }
+}
+
+const (
+	fileExt       = ".opr"
+	tmpExt        = ".tmp"
+	quarantineDir = "quarantine"
+)
+
+// recordMagic opens every framed OPR file: "OPR2" followed by the
+// IEEE CRC32 of the payload, then the OPR encoding itself. Files
+// without the magic are read as legacy unframed encodings.
+var recordMagic = []byte("OPR2")
+
+const recordHeaderLen = 4 + 4 // magic + crc32
+
+// frameRecord wraps a marshalled OPR payload in the checksummed frame.
+func frameRecord(payload []byte) []byte {
+	out := make([]byte, 0, recordHeaderLen+len(payload))
+	out = append(out, recordMagic...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// decodeRecord validates and decodes one OPR file's bytes.
+func decodeRecord(data []byte) (OPR, error) {
+	if len(data) >= recordHeaderLen && string(data[:4]) == string(recordMagic) {
+		payload := data[recordHeaderLen:]
+		want := binary.BigEndian.Uint32(data[4:8])
+		if crc32.ChecksumIEEE(payload) != want {
+			return OPR{}, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		o, err := Unmarshal(payload)
+		if err != nil {
+			return OPR{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return o, nil
+	}
+	// Legacy unframed record (pre-checksum format).
+	o, err := Unmarshal(data)
+	if err != nil {
+		return OPR{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return o, nil
+}
+
+// NewFileStore creates (if needed) and opens a directory-backed store,
+// then recovers it: orphaned temp files from interrupted writes are
+// removed, and any OPR that fails validation is moved into a
+// quarantine/ subdirectory (and counted) instead of failing the
+// Jurisdiction — one rotten record must not take the store down.
+func NewFileStore(dir string, opts ...FileOption) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	return &FileStore{dir: dir}, nil
+	s := &FileStore{dir: dir}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
-const fileExt = ".opr"
+// recover scans the directory once at open.
+func (s *FileStore) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpExt):
+			// A Put died between write and rename; the record was never
+			// acknowledged, so it is garbage.
+			os.Remove(filepath.Join(s.dir, name))
+		case strings.HasSuffix(name, fileExt):
+			if seq, ok := parseSeq(name); ok && seq > s.next {
+				s.next = seq
+			}
+			data, err := os.ReadFile(filepath.Join(s.dir, name))
+			if err != nil {
+				continue
+			}
+			if _, err := decodeRecord(data); err != nil {
+				s.quarantine(name)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSeq extracts the N of "opr-N-..." so a reopened store never
+// reuses (and silently overwrites) an existing address.
+func parseSeq(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "opr-")
+	if !ok {
+		return 0, false
+	}
+	num, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// quarantine moves a bad record aside. Best-effort: if the move fails
+// the file stays where it is and keeps failing loudly on Get.
+func (s *FileStore) quarantine(name string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.quarantined++
+	s.mu.Unlock()
+}
+
+// Quarantined reports how many corrupt OPRs this store has moved to
+// quarantine (at open or on read).
+func (s *FileStore) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// Dir returns the backing directory.
+func (s *FileStore) Dir() string { return s.dir }
 
 // Put implements Store.
 func (s *FileStore) Put(o OPR) (PersistentAddress, error) {
@@ -110,32 +258,71 @@ func (s *FileStore) Put(o OPR) (PersistentAddress, error) {
 	name := fmt.Sprintf("opr-%d-%d-%d%s", s.next, o.LOID.ClassID, o.LOID.ClassSpecific, fileExt)
 	s.mu.Unlock()
 	path := filepath.Join(s.dir, name)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, o.Marshal(nil), 0o644); err != nil {
+	tmp := path + tmpExt
+	if err := s.writeFile(tmp, frameRecord(o.Marshal(nil))); err != nil {
+		os.Remove(tmp)
 		return "", fmt.Errorf("persist: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return "", fmt.Errorf("persist: %w", err)
 	}
+	if s.sync {
+		if d, err := os.Open(s.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
 	return PersistentAddress(name), nil
 }
 
-// Get implements Store.
+func (s *FileStore) writeFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if s.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// Get implements Store. A record that fails validation is quarantined
+// on the spot and reported as ErrCorrupt.
 func (s *FileStore) Get(addr PersistentAddress) (OPR, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, string(addr)))
+	name := string(addr)
+	if name != filepath.Base(name) {
+		return OPR{}, fmt.Errorf("%w: %s", ErrNotFound, addr)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return OPR{}, fmt.Errorf("%w: %s", ErrNotFound, addr)
 		}
 		return OPR{}, fmt.Errorf("persist: %w", err)
 	}
-	return Unmarshal(data)
+	o, err := decodeRecord(data)
+	if err != nil {
+		s.quarantine(name)
+		return OPR{}, fmt.Errorf("%s: %w", addr, err)
+	}
+	return o, nil
 }
 
 // Delete implements Store.
 func (s *FileStore) Delete(addr PersistentAddress) error {
-	err := os.Remove(filepath.Join(s.dir, string(addr)))
+	name := string(addr)
+	if name != filepath.Base(name) {
+		return fmt.Errorf("%w: %s", ErrNotFound, addr)
+	}
+	err := os.Remove(filepath.Join(s.dir, name))
 	if os.IsNotExist(err) {
 		return fmt.Errorf("%w: %s", ErrNotFound, addr)
 	}

@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/idl"
@@ -29,6 +30,12 @@ type Object struct {
 	// cReq is the interned "req/<label>" counter (nil when unlabeled),
 	// so serving a request never builds a metric name string.
 	cReq *metrics.Counter
+
+	// muts counts dispatches that may have changed the object's state
+	// (application methods and RestoreState, not runtime reads like
+	// Ping or SaveState). Checkpointers compare it across rounds to
+	// skip idle objects.
+	muts atomic.Uint64
 
 	mailbox chan *wire.Message
 	done    chan struct{}
@@ -80,6 +87,12 @@ func (o *Object) Impl() Impl { return o.impl }
 
 // Caller returns the object's communication layer.
 func (o *Object) Caller() *Caller { return o.caller }
+
+// Mutations returns the object's dirty clock: the count of dispatched
+// calls that may have changed its state. A checkpointer that remembers
+// the value from its last round can tell an idle object (equal clock —
+// nothing to save) from a dirty one without touching the Impl.
+func (o *Object) Mutations() uint64 { return o.muts.Load() }
 
 // SetPolicy replaces the object's MayI policy at run time.
 func (o *Object) SetPolicy(p security.Policy) { o.policy = p }
@@ -202,8 +215,10 @@ func (o *Object) dispatch(msg *wire.Message, span *trace.Span) (wire.Code, strin
 		if err := o.impl.RestoreState(msg.Args[0]); err != nil {
 			return wire.ErrApp, err.Error(), nil
 		}
+		o.muts.Add(1)
 		return wire.OK, "", nil
 	}
+	o.muts.Add(1)
 	inv := &Invocation{Method: msg.Method, Args: msg.Args, Env: msg.Env, Obj: o, Span: span}
 	if msg.Env.Deadline != 0 {
 		inv.Deadline = time.Unix(0, msg.Env.Deadline)

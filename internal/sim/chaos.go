@@ -72,6 +72,28 @@ func (s *Sim) CrashHost(j, h int) ([]loid.LOID, error) {
 	return hobj.CrashResidents(), nil
 }
 
+// CrashHostAndDetect power-fails a host AND immediately reports the
+// failure to the jurisdiction's Magistrate — a crash observed by an
+// ideal failure detector. The magistrate flips the lost residents inert
+// (each recovering its newest checkpoint, when checkpointing is on) and
+// eagerly reactivates them on the surviving hosts; callers racing ahead
+// of the reactivation heal through ordinary stale-binding refresh. No
+// HostRecovered is needed for the population to be fully reachable
+// again. Returns the LOIDs that were lost.
+func (s *Sim) CrashHostAndDetect(j, h int) ([]loid.LOID, error) {
+	lost, err := s.CrashHost(j, h)
+	if err != nil {
+		return nil, err
+	}
+	s.Sys.Jurisdictions[j].MagistrateImpl().HostFailed(s.Sys.Jurisdictions[j].Hosts[h])
+	return lost, nil
+}
+
+// CheckpointNow forces one synchronous checkpoint round on every host.
+func (s *Sim) CheckpointNow() (int, error) {
+	return s.Sys.CheckpointNow()
+}
+
 // RestartHost reboots a crashed host. The machine comes back with its
 // host daemon but none of the objects it was running; re-registration
 // reconciles the Magistrate's view — anything it still believed active

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"repro/internal/health"
 	"repro/internal/loid"
+	"repro/internal/rt"
 	"repro/internal/wire"
 )
 
@@ -79,6 +81,145 @@ func TestCrashRecoveryThroughMagistrate(t *testing.T) {
 		if res, err := cli.Call(l, "Work"); err != nil || res.Code != wire.OK {
 			t.Fatalf("call to %v after restart: %v %v", l, res, err)
 		}
+	}
+}
+
+// TestCrashRecoveryWithCheckpoints: with the checkpoint loop running, a
+// DETECTED crash loses nothing that was checkpointed. Every lost worker
+// is reachable again immediately — post-crash success returns to 100%
+// with no HostRecovered and no manual intervention — and each continues
+// from its pre-crash call count. The magistrate also reactivates the
+// losses eagerly in the background, so even objects nobody calls are
+// running again.
+func TestCrashRecoveryWithCheckpoints(t *testing.T) {
+	s, err := Build(Config{
+		HostsPerJurisdiction: 3,
+		ObjectsPerClass:      6,
+		CallTimeout:          200 * time.Millisecond,
+		CheckpointEvery:      time.Hour, // rounds are forced explicitly below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cli := s.Clients[0]
+	pre := make(map[loid.LOID]uint64)
+	for _, l := range s.Flat {
+		for i := 0; i < 3; i++ {
+			res, err := cli.Call(l, "Work")
+			if err != nil || res.Code != wire.OK {
+				t.Fatalf("warm call to %v: %v %v", l, res, err)
+			}
+			raw, _ := res.Result(0)
+			pre[l], _ = wire.AsUint64(raw)
+		}
+	}
+	if n, err := s.CheckpointNow(); err != nil || n == 0 {
+		t.Fatalf("CheckpointNow = %d, %v", n, err)
+	}
+
+	allLost, err := s.CrashHostAndDetect(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := workersOf(s, allLost)
+	if len(lost) == 0 {
+		t.Fatal("host 1 ran no workers")
+	}
+	// 100% of post-crash calls succeed, and none lost checkpointed state.
+	for _, l := range s.Flat {
+		res, err := cli.Call(l, "Work")
+		if err != nil || res.Code != wire.OK {
+			t.Fatalf("call to %v after crash+detect: %v %v", l, res, err)
+		}
+		raw, _ := res.Result(0)
+		if v, _ := wire.AsUint64(raw); v != pre[l]+1 {
+			t.Errorf("%v: count = %d after recovery, want %d (state lost)", l, v, pre[l]+1)
+		}
+	}
+	// The eager background reactivation covered every lost object.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Reg.Counter("mag/reactivations").Value() >= uint64(len(allLost)) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("mag/reactivations = %d, want >= %d",
+		s.Reg.Counter("mag/reactivations").Value(), len(allLost))
+}
+
+// TestCrashMidCallRecovers: a caller already blocked on a dead host
+// rides through failure detection — its retry loop refreshes into the
+// reactivated object and the call completes with pre-crash state
+// intact.
+func TestCrashMidCallRecovers(t *testing.T) {
+	s, err := Build(Config{
+		HostsPerJurisdiction: 2,
+		ObjectsPerClass:      4,
+		CallTimeout:          150 * time.Millisecond,
+		CheckpointEvery:      time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cli := s.Clients[0]
+	pre := make(map[loid.LOID]uint64)
+	for _, l := range s.Flat {
+		for i := 0; i < 2; i++ {
+			res, err := cli.Call(l, "Work")
+			if err != nil || res.Code != wire.OK {
+				t.Fatalf("warm call: %v %v", res, err)
+			}
+			raw, _ := res.Result(0)
+			pre[l.ID()], _ = wire.AsUint64(raw)
+		}
+	}
+	if _, err := s.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silent crash: nobody is told yet, so the in-flight call below
+	// burns wave timeouts against the dead endpoint.
+	allLost, err := s.CrashHost(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := workersOf(s, allLost)
+	if len(lost) == 0 {
+		t.Fatal("host 1 ran no workers")
+	}
+	cli.Retry = rt.RetryPolicy{MaxAttempts: 40, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	var (
+		val     uint64
+		callErr error
+		done    = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		res, err := cli.CallCtx(ctx, lost[0], "Work")
+		if err == nil {
+			err = res.Err()
+		}
+		if err == nil {
+			raw, _ := res.Result(0)
+			val, _ = wire.AsUint64(raw)
+		}
+		callErr = err
+	}()
+	// Let the call start failing against the dead host, then deliver
+	// the failure notice mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	s.Sys.Jurisdictions[0].MagistrateImpl().HostFailed(s.Sys.Jurisdictions[0].Hosts[1])
+	<-done
+	if callErr != nil {
+		t.Fatalf("in-flight call never recovered: %v", callErr)
+	}
+	if want := pre[lost[0].ID()] + 1; val != want {
+		t.Errorf("mid-call recovery count = %d, want %d", val, want)
 	}
 }
 

@@ -109,6 +109,13 @@ type Config struct {
 	// TraceSampleEvery, when > 0, installs a tracer sampling one root
 	// invocation in N (1 = trace everything). 0 disables tracing.
 	TraceSampleEvery int
+	// CheckpointEvery, when > 0, runs the hosts' checkpoint loops: a
+	// crashed host's residents then reactivate from their newest
+	// checkpoint instead of a blank state. 0 keeps checkpointing off.
+	CheckpointEvery time.Duration
+	// DataDir, when set, makes the deployment durable (on-disk OPRs and
+	// a restorable system snapshot) — see core.Options.DataDir.
+	DataDir string
 }
 
 func (c *Config) fill() {
@@ -180,6 +187,8 @@ func Build(cfg Config) (*Sim, error) {
 		BindingTTL:           cfg.BindingTTL,
 		CallTimeout:          cfg.CallTimeout,
 		Tracer:               tracer,
+		CheckpointEvery:      cfg.CheckpointEvery,
+		DataDir:              cfg.DataDir,
 	})
 	if err != nil {
 		return nil, err
