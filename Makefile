@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-invoke vet check experiments crash-test
+.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test
 
 all: check
 
@@ -28,13 +28,25 @@ crash-test:
 	$(GO) test -race -run 'TestCrash|TestRestart|TestHealthDetector' ./internal/core ./internal/sim
 	$(GO) run ./cmd/legion-bench -quick -run E18
 
-# All microbenchmarks, with allocation counts.
+# All microbenchmarks, with allocation counts. The invocation fast
+# path (E1 binding + the ParallelInvoke suite) is additionally written
+# to BENCH_<date>.json — commit that file with perf-sensitive changes
+# so regressions are diffable in review.
+BENCH_JSON = BENCH_$(shell date -u +%Y-%m-%d).json
 bench:
+	$(GO) test -run xxx -bench 'BenchmarkParallelInvoke|BenchmarkE1BindingPath' \
+		-benchmem -benchtime=2s . | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	@echo wrote $(BENCH_JSON)
 	$(GO) test -run xxx -bench . -benchmem -benchtime=2s .
 
 # Just the invocation fast path (the §5.2.1 "common case" pipeline).
 bench-invoke:
 	$(GO) test -run xxx -bench 'BenchmarkParallelInvoke|BenchmarkE1BindingPath' -benchmem -benchtime=2s .
+
+# Short fuzz pass over the wire decoder (v2/v3/v4 frames): enough to
+# catch a freshly introduced parser panic without tying up CI.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzParseFrame -fuzztime 15s ./internal/wire
 
 vet:
 	$(GO) vet ./...

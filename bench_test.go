@@ -509,7 +509,10 @@ func benchParallelInvoke(b *testing.B, tr transport.Transport, tracer *trace.Tra
 			"Work": func(*rt.Invocation) ([][]byte, error) { return nil, nil },
 		},
 	}
-	_, err = server.Spawn(target, impl, rt.WithConcurrency(runtime.GOMAXPROCS(0)))
+	// Work is a leaf method (no nested calls, never blocks), so it is
+	// exactly what inline dispatch is for: requests execute on the
+	// delivering goroutine with no mailbox handoff.
+	_, err = server.Spawn(target, impl, rt.WithConcurrency(runtime.GOMAXPROCS(0)), rt.WithInlineDispatch())
 	mustNoErr(b, err)
 	bind := binding.Forever(target, server.Address())
 

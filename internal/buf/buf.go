@@ -1,0 +1,100 @@
+// Package buf provides the reference-counted pooled byte buffers the
+// zero-copy invocation path is built on. One Buffer carries one wire
+// frame from the marshalling caller through the transport to the
+// receiving handler without intermediate copies: every layer that needs
+// the bytes past its own return takes a reference (Retain) and drops it
+// (Release) when done; the last release recycles the buffer.
+//
+// The package replaces the frame/read-buffer pools that were previously
+// copy-pasted between the mem and tcp transports, and it is the backing
+// store for wire v4's lazy frames: a decoded frame holds views into a
+// Buffer, so the borrow/release discipline here is what makes those
+// views safe.
+//
+// Build with -tags buftrack to enable leak and double-release tracking
+// (see track_on.go); the default build compiles the tracking hooks to
+// nothing.
+package buf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxPooled caps the capacity Release keeps: a buffer grown by a huge
+// argument blob must not pin its backing array in the pool forever.
+// It matches the transports' historical pooledReadLimit.
+const MaxPooled = 64 << 10
+
+// defaultCap is the starting capacity of a fresh pooled buffer; a full
+// v4 request frame with small arguments fits without growing.
+const defaultCap = 2048
+
+// Buffer is one pooled, reference-counted byte buffer. B is the live
+// payload; holders append to and reslice B freely while they are the
+// only reference, and must treat it as read-only once the buffer has
+// been handed to another holder (a transport send, a parked frame).
+type Buffer struct {
+	B    []byte
+	refs atomic.Int32
+}
+
+var pool = sync.Pool{
+	New: func() any { return &Buffer{B: make([]byte, 0, defaultCap)} },
+}
+
+// Get returns a buffer with one reference, zero length, and non-trivial
+// capacity. The caller owns that reference and must Release it.
+func Get() *Buffer {
+	b := pool.Get().(*Buffer)
+	b.B = b.B[:0]
+	b.refs.Store(1)
+	trackGet(b)
+	return b
+}
+
+// GetSize returns a buffer with one reference whose B has length n
+// (grown as needed). Transports use it for inbound reads.
+func GetSize(n int) *Buffer {
+	b := pool.Get().(*Buffer)
+	if cap(b.B) < n {
+		b.B = make([]byte, n)
+	} else {
+		b.B = b.B[:n]
+	}
+	b.refs.Store(1)
+	trackGet(b)
+	return b
+}
+
+// Retain adds a reference and returns b, so a handoff reads as
+// `q <- b.Retain()`. It must only be called by a holder that already
+// owns a reference (the count can never revive from zero).
+func (b *Buffer) Retain() *Buffer {
+	if b.refs.Add(1) <= 1 {
+		panic("buf: Retain on released buffer")
+	}
+	return b
+}
+
+// Release drops one reference; the last drop recycles the buffer. The
+// caller must not touch b or b.B afterwards — views into B (wire frame
+// fields, arguments) die with the reference that guaranteed them.
+func (b *Buffer) Release() {
+	n := b.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		trackDoubleRelease(b)
+		panic("buf: double release")
+	}
+	trackPut(b)
+	if cap(b.B) > MaxPooled {
+		b.B = make([]byte, 0, defaultCap)
+	}
+	pool.Put(b)
+}
+
+// Refs returns the current reference count (for tests and assertions).
+func (b *Buffer) Refs() int32 { return b.refs.Load() }

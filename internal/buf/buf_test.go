@@ -1,0 +1,130 @@
+package buf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetReleaseCycle(t *testing.T) {
+	b := Get()
+	if b.Refs() != 1 {
+		t.Fatalf("fresh buffer has %d refs, want 1", b.Refs())
+	}
+	b.B = append(b.B, "hello"...)
+	b.Release()
+}
+
+func TestGetSize(t *testing.T) {
+	b := GetSize(100)
+	if len(b.B) != 100 {
+		t.Fatalf("GetSize(100) gave len %d", len(b.B))
+	}
+	b.Release()
+	big := GetSize(MaxPooled + 1)
+	if len(big.B) != MaxPooled+1 {
+		t.Fatalf("GetSize big gave len %d", len(big.B))
+	}
+	big.Release()
+	// An oversized buffer must not come back from the pool oversized.
+	n := Get()
+	if cap(n.B) > MaxPooled {
+		t.Fatalf("pool kept oversized buffer: cap %d", cap(n.B))
+	}
+	n.Release()
+}
+
+func TestRetainKeepsAlive(t *testing.T) {
+	b := Get()
+	b.B = append(b.B, 1, 2, 3)
+	b2 := b.Retain()
+	if b2 != b {
+		t.Fatal("Retain must return the receiver")
+	}
+	if b.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2", b.Refs())
+	}
+	b.Release()
+	if b.Refs() != 1 {
+		t.Fatalf("refs after one release = %d, want 1", b.Refs())
+	}
+	if string(b.B) != "\x01\x02\x03" {
+		t.Fatal("payload lost while a reference was held")
+	}
+	b.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	// A separately-allocated buffer (not from the pool) so the panic
+	// cannot corrupt pooled state for other tests.
+	b := &Buffer{}
+	b.refs.Store(1)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	b := &Buffer{}
+	b.refs.Store(1)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain on dead buffer did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestConcurrentRetainRelease(t *testing.T) {
+	b := Get()
+	const holders = 64
+	var wg sync.WaitGroup
+	for i := 0; i < holders; i++ {
+		b.Retain()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = b.B
+			b.Release()
+		}()
+	}
+	wg.Wait()
+	if b.Refs() != 1 {
+		t.Fatalf("refs = %d after all holders released, want 1", b.Refs())
+	}
+	b.Release()
+}
+
+func TestTrackingDisabledByDefault(t *testing.T) {
+	if Tracking {
+		t.Skip("buftrack tag active")
+	}
+	if Live() != 0 || LiveStacks() != nil {
+		t.Fatal("tracking stubs must report nothing without the tag")
+	}
+}
+
+// TestTrackingCountsLiveBuffers exercises the buftrack accounting; it
+// only observes counts under the tag (make fuzz-smoke runs the package
+// with -tags buftrack).
+func TestTrackingCountsLiveBuffers(t *testing.T) {
+	if !Tracking {
+		t.Skip("needs -tags buftrack")
+	}
+	before := Live()
+	b := Get()
+	if Live() != before+1 {
+		t.Fatalf("Live = %d, want %d", Live(), before+1)
+	}
+	if len(LiveStacks()) == 0 {
+		t.Fatal("no acquisition stack recorded")
+	}
+	b.Release()
+	if Live() != before {
+		t.Fatalf("Live = %d after release, want %d", Live(), before)
+	}
+}

@@ -1,0 +1,23 @@
+//go:build !buftrack
+
+package buf
+
+// The default build compiles the lifetime-tracking hooks to nothing;
+// the borrow/release contract is then enforced only by the refcount
+// panics in Retain/Release. Build with -tags buftrack to record every
+// live buffer's acquisition stack (see track_on.go).
+
+func trackGet(*Buffer)           {}
+func trackPut(*Buffer)           {}
+func trackDoubleRelease(*Buffer) {}
+
+// Tracking reports whether the buftrack build tag is active.
+const Tracking = false
+
+// Live returns the number of tracked live buffers; always 0 without
+// the buftrack tag.
+func Live() int { return 0 }
+
+// LiveStacks returns the acquisition stacks of tracked live buffers;
+// always nil without the buftrack tag.
+func LiveStacks() []string { return nil }

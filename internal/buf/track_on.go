@@ -1,0 +1,72 @@
+//go:build buftrack
+
+package buf
+
+import (
+	"runtime"
+	"sync"
+)
+
+// With the buftrack build tag the package records the acquisition stack
+// of every live buffer. A test that drains all traffic and then finds
+// Live() > 0 has caught a leaked reference — LiveStacks says who took
+// it; a double release additionally reports the victim's acquisition
+// stack before the refcount panic fires.
+
+// Tracking reports whether the buftrack build tag is active.
+const Tracking = true
+
+var trackMu sync.Mutex
+var live = make(map[*Buffer]string)
+
+func trackGet(b *Buffer) {
+	var pcs [8]uintptr
+	n := runtime.Callers(3, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	stack := ""
+	for {
+		f, more := frames.Next()
+		stack += f.Function + "\n"
+		if !more {
+			break
+		}
+	}
+	trackMu.Lock()
+	live[b] = stack
+	trackMu.Unlock()
+}
+
+func trackPut(b *Buffer) {
+	trackMu.Lock()
+	delete(live, b)
+	trackMu.Unlock()
+}
+
+func trackDoubleRelease(b *Buffer) {
+	trackMu.Lock()
+	stack, ok := live[b]
+	trackMu.Unlock()
+	if ok {
+		println("buf: double release of buffer acquired at:\n" + stack)
+	} else {
+		println("buf: double release of already-recycled buffer")
+	}
+}
+
+// Live returns the number of tracked live buffers.
+func Live() int {
+	trackMu.Lock()
+	defer trackMu.Unlock()
+	return len(live)
+}
+
+// LiveStacks returns the acquisition stacks of all live buffers.
+func LiveStacks() []string {
+	trackMu.Lock()
+	defer trackMu.Unlock()
+	out := make([]string, 0, len(live))
+	for _, s := range live {
+		out = append(out, s)
+	}
+	return out
+}

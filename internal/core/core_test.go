@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -502,4 +503,67 @@ func mustLookup(t *testing.T, sys *System, path string) loid.LOID {
 		t.Fatal(err)
 	}
 	return l
+}
+
+// TestCoResidentCallBypassesFabric proves the inline dispatch bypass:
+// a caller on the same node as a concurrency-safe object invokes it
+// without a single frame crossing the fabric — no marshal, no
+// correlation id, no net/sent traffic. A caller on a different node
+// making the same call does use the fabric (sanity leg).
+func TestCoResidentCallBypassesFabric(t *testing.T) {
+	impls := implreg.NewRegistry()
+	impls.MustRegisterConcurrent("atomic-counter", func() rt.Impl {
+		var n atomic.Uint64
+		return &rt.Behavior{
+			Iface: counterInterface(),
+			Handlers: map[string]rt.Handler{
+				"Inc": func(inv *rt.Invocation) ([][]byte, error) {
+					return [][]byte{wire.Uint64(n.Add(1))}, nil
+				},
+				"Get": func(inv *rt.Invocation) ([][]byte, error) {
+					return [][]byte{wire.Uint64(n.Load())}, nil
+				},
+			},
+		}
+	})
+	sys := bootSys(t, Options{Impls: impls})
+	cl, _, err := sys.DeriveClass("AtomicCounter", "atomic-counter", counterInterface(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, objB, err := cl.Create(nil, loid.Nil, loid.Nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default topology: one jurisdiction, one host — the instance is
+	// resident on that host's node.
+	h := sys.Jurisdictions[0].HostImpls()[0]
+	local := rt.NewCaller(h.Node(), loid.NewNoKey(300, 7), nil)
+	local.AddBinding(objB)
+	before := sys.Reg.Counter("net/sent").Value()
+	for i := 0; i < 5; i++ {
+		res, err := local.Call(obj, "Inc")
+		if err != nil || res.Code != wire.OK {
+			t.Fatalf("co-resident Inc %d: %v %v", i, res, err)
+		}
+	}
+	if got := sys.Reg.Counter("net/sent").Value(); got != before {
+		t.Errorf("co-resident calls sent %d fabric frames, want 0", got-before)
+	}
+	// Sanity: the same calls from a non-resident node do cross the
+	// fabric, and both callers observe the same object state.
+	remote, err := sys.NewClient(loid.NewNoKey(300, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := remote.Call(obj, "Get")
+	if err != nil || res.Code != wire.OK {
+		t.Fatalf("remote Get: %v %v", res, err)
+	}
+	if v, _ := wire.AsUint64(res.Results[0]); v != 5 {
+		t.Errorf("remote Get = %d, want 5 (bypassed calls must mutate the same object)", v)
+	}
+	if got := sys.Reg.Counter("net/sent").Value(); got == before {
+		t.Error("remote call crossed no fabric frames; counter is not wired")
+	}
 }

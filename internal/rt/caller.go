@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/binding"
+	"repro/internal/buf"
 	"repro/internal/health"
 	"repro/internal/loid"
 	"repro/internal/oa"
@@ -398,23 +399,15 @@ func (c *Caller) OneWay(target loid.LOID, method string, args ...[]byte) error {
 // Address, bypassing binding resolution (used for push-style
 // notifications such as binding propagation, §4.1.4).
 func (c *Caller) OneWayAddr(addr oa.Address, target loid.LOID, method string, args ...[]byte) error {
-	msg := wire.Message{
-		Kind:   wire.KindOneWay,
-		Target: target,
-		Method: method,
-		Env:    c.env,
-		Args:   args,
-	}
-	wb := wire.GetBuf()
-	buf := msg.AppendMarshal(wb.B[:0])
-	wb.B = buf
-	defer wb.Put()
+	wb := buf.Get()
+	wb.B = wire.AppendRequest(wb.B, wire.KindOneWay, 0, target, method, &c.env, oa.Address{}, args)
+	defer wb.Release()
 	waves := addr.Targets(c.intn)
 	var lastErr error = transport.ErrUnreachable
 	for _, wave := range waves {
 		sent := false
 		for _, e := range wave {
-			if err := c.node.send(e, buf); err == nil {
+			if err := c.node.sendBuf(e, wb); err == nil {
 				sent = true
 			} else {
 				lastErr = err
@@ -479,6 +472,13 @@ func putTimer(t *time.Timer) {
 // one — proves the endpoint alive. With no tracker and no context
 // deadline the function is byte-for-byte the PR 1 fast path.
 func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID, method string, args [][]byte, span *trace.Span) (*Result, error) {
+	if len(addr.Elements) == 1 {
+		// Single destination, no failover: the overwhelmingly common
+		// case for a cached binding to an unreplicated object. Every
+		// semantic reduces to one wave of one element here, so the
+		// wave construction (two allocations) is skipped entirely.
+		return c.deliverOne(ctx, addr.Elements[0], target, method, args, span)
+	}
 	waves := addr.Targets(c.intn)
 	if len(waves) == 0 {
 		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
@@ -528,7 +528,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 		if ht != nil {
 			waveStart = time.Now()
 		}
-		f, contacted, err := c.sendTo(wave, target, method, args, dlNanos, ht, sc)
+		f, contacted, err := c.sendTo(wave, target, method, args, dlNanos, ht, sc, true)
 		if err != nil {
 			last = &Result{Code: wire.ErrUnavailable, ErrText: err.Error()}
 			continue
@@ -551,6 +551,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 				if !retryable(res.Code) {
 					putTimer(timer)
 					c.node.cancel(f.id)
+					c.node.putFuture(f)
 					return res, nil
 				}
 				waveLast = res
@@ -581,11 +582,17 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 			case <-ctxDone:
 				putTimer(timer)
 				c.node.cancel(f.id)
+				c.node.putFuture(f)
 				span.Event("deadline", "context cancelled")
 				return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ctx.Err().Error()}, nil
 			}
 		}
 		putTimer(timer)
+		// The wave is settled: every contacted replica answered (the
+		// final reply removed the pending entry) or the timeout branch
+		// cancelled it — either way the future is out of the table and
+		// safe to recycle.
+		c.node.putFuture(f)
 		last = waveLast
 	}
 	if last == nil {
@@ -664,37 +671,30 @@ func (c *Caller) sendRequest(addr oa.Address, target loid.LOID, method string, a
 	if len(waves) == 0 {
 		return nil, fmt.Errorf("%w: empty address", ErrUnbound)
 	}
-	f, _, err := c.sendTo(waves[0], target, method, args, dlNanos, c.health.Load(), sc)
+	f, _, err := c.sendTo(waves[0], target, method, args, dlNanos, c.health.Load(), sc, false)
 	return f, err
 }
 
 // sendTo transmits one request wave, returning the future and the
 // elements actually contacted (the input slice itself when every send
-// succeeded, so the common case does not allocate). The marshal buffer
-// is pooled: transports copy (or frame) the payload before Send
-// returns, so the buffer is recycled as soon as the wave is on the
-// wire. Send failures are reported to ht when installed.
-func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte, dlNanos int64, ht *health.Tracker, sc trace.SpanContext) (*Future, []oa.Element, error) {
-	f := c.node.newFuture(len(wave))
+// succeeded, so the common case does not allocate). The request is
+// marshalled ONCE into a pooled ref-counted buffer and handed to every
+// transport zero-copy; a transport that needs the bytes past its own
+// return takes its own reference, so the buffer recycles the moment
+// the last holder lets go. Send failures are reported to ht when
+// installed. pooled futures are recycled by the deliver loop; futures
+// escaping to users must pass pooled=false.
+func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args [][]byte, dlNanos int64, ht *health.Tracker, sc trace.SpanContext, pooled bool) (*Future, []oa.Element, error) {
+	f := c.node.newFuture(len(wave), pooled)
 	env := c.env
 	env.Deadline = dlNanos
 	env.TraceID, env.SpanID, env.ParentSpanID = sc.TraceID, sc.SpanID, sc.ParentSpanID
-	msg := wire.Message{
-		Kind:    wire.KindRequest,
-		ID:      f.id,
-		Target:  target,
-		Method:  method,
-		Env:     env,
-		ReplyTo: c.node.Address(),
-		Args:    args,
-	}
-	wb := wire.GetBuf()
-	buf := msg.AppendMarshal(wb.B[:0])
-	wb.B = buf
+	wb := buf.Get()
+	wb.B = wire.AppendRequest(wb.B, wire.KindRequest, f.id, target, method, &env, c.node.Address(), args)
 	sent := 0
 	var lastErr error
 	for _, e := range wave {
-		if err := c.node.send(e, buf); err == nil {
+		if err := c.node.sendBuf(e, wb); err == nil {
 			wave[sent] = e // compact in place; wave is freshly built by Targets
 			sent++
 		} else {
@@ -704,9 +704,10 @@ func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args
 			}
 		}
 	}
-	wb.Put()
+	wb.Release()
 	if sent == 0 {
 		c.node.cancel(f.id)
+		c.node.putFuture(f)
 		if lastErr == nil {
 			lastErr = transport.ErrUnreachable
 		}
@@ -716,6 +717,138 @@ func (c *Caller) sendTo(wave []oa.Element, target loid.LOID, method string, args
 		c.node.adjustPending(f.id, sent-len(wave))
 	}
 	return f, wave[:sent], nil
+}
+
+// sendOne is sendTo for the single-destination fast path: one pooled
+// future, one marshal into a pooled buffer, one send — no wave
+// bookkeeping at all.
+func (c *Caller) sendOne(e oa.Element, target loid.LOID, method string, args [][]byte, dlNanos int64, ht *health.Tracker, sc trace.SpanContext) (*Future, error) {
+	f := c.node.newFuture(1, true)
+	env := c.env
+	env.Deadline = dlNanos
+	env.TraceID, env.SpanID, env.ParentSpanID = sc.TraceID, sc.SpanID, sc.ParentSpanID
+	wb := buf.Get()
+	wb.B = wire.AppendRequest(wb.B, wire.KindRequest, f.id, target, method, &env, c.node.Address(), args)
+	err := c.node.sendBuf(e, wb)
+	wb.Release()
+	if err != nil {
+		c.node.cancel(f.id)
+		c.node.putFuture(f)
+		if ht != nil {
+			ht.ReportFailure(e)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// deliverOne is deliver's single-destination fast path: one wave of
+// one element, the shape every cached binding to an unreplicated
+// object produces. Semantics match deliver exactly (deadline clipping,
+// breaker fail-fast, health attribution, retryable verdicts); what it
+// sheds is the per-wave bookkeeping, and — for the mem fabric's
+// zero-latency path, which completes the future on this very goroutine
+// during the send — the reply is collected by a non-blocking poll
+// before any timer is armed.
+//
+// When the target is co-resident AND runs its methods safely on the
+// calling goroutine (an inline leaf, or an internally-synchronized
+// concurrent service object), the call bypasses the fabric entirely:
+// no marshal, no correlation id, no goroutine handoff — the paper's
+// "as close to a raw message send as possible" (§5.2.1), beaten only
+// by not sending at all. A registry miss falls through to the
+// transport so a stale binding still earns its ErrNoSuchObject and the
+// refresh machinery stays honest.
+func (c *Caller) deliverOne(ctx context.Context, e oa.Element, target loid.LOID, method string, args [][]byte, span *trace.Span) (*Result, error) {
+	deadline := deadlineOf(ctx)
+	var dlNanos int64
+	if !deadline.IsZero() {
+		if !time.Now().Before(deadline) {
+			span.Event("deadline", "budget exhausted before send")
+			return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}, nil
+		}
+		dlNanos = deadline.UnixNano()
+	}
+	sc := span.Context()
+	if e == c.node.Element() {
+		if v, ok := c.node.objects.Load(target.ID()); ok {
+			o := v.(*Object)
+			if o.inline || o.concurrency > 1 {
+				select {
+				case <-o.done:
+					// Stopped but not yet unregistered: let the transport
+					// loopback answer with the stale-binding verdict.
+				default:
+					env := c.env
+					env.Deadline = dlNanos
+					env.TraceID, env.SpanID, env.ParentSpanID = sc.TraceID, sc.SpanID, sc.ParentSpanID
+					return o.serveLocal(method, &env, args), nil
+				}
+			}
+		}
+	}
+	ht := c.health.Load()
+	if ht != nil && !ht.Allow(e) {
+		span.Event("breaker", "all destinations circuit-open")
+		return &Result{Code: wire.ErrUnavailable, ErrText: "all destinations circuit-open"}, nil
+	}
+	waveTimeout := c.Timeout
+	if !deadline.IsZero() {
+		if remain := time.Until(deadline); remain < waveTimeout {
+			waveTimeout = remain
+		}
+	}
+	var start time.Time
+	if ht != nil {
+		start = time.Now()
+	}
+	f, err := c.sendOne(e, target, method, args, dlNanos, ht, sc)
+	if err != nil {
+		return &Result{Code: wire.ErrUnavailable, ErrText: err.Error()}, nil
+	}
+	// collect finishes the call once the (single) reply is in hand: the
+	// pending entry removed itself when the reply landed, so the future
+	// is free to recycle.
+	collect := func(res *Result) (*Result, error) {
+		if ht != nil && res.From != (oa.Element{}) {
+			ht.ReportSuccess(res.From, time.Since(start))
+		}
+		c.node.putFuture(f)
+		return res, nil
+	}
+	select {
+	case res := <-f.ch:
+		return collect(res)
+	default:
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	timer := getTimer(waveTimeout)
+	select {
+	case res := <-f.ch:
+		putTimer(timer)
+		return collect(res)
+	case <-timer.C:
+		putTimer(timer)
+		c.node.cancel(f.id)
+		c.node.putFuture(f)
+		if ht != nil {
+			ht.ReportFailure(e)
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			span.Event("deadline", "expired awaiting reply")
+			return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}, nil
+		}
+		return &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}, nil
+	case <-ctxDone:
+		putTimer(timer)
+		c.node.cancel(f.id)
+		c.node.putFuture(f)
+		span.Event("deadline", "context cancelled")
+		return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ctx.Err().Error()}, nil
+	}
 }
 
 // intn returns a value in [0,n) from a lock-free splitmix64 stream;

@@ -73,6 +73,10 @@ type Future struct {
 	ch        chan *Result
 	node      *Node
 	remaining int
+	// pooled marks futures owned by the synchronous deliver loop, which
+	// recycles them (Node.putFuture) once they leave the pending table.
+	// Futures returned to users are never pooled.
+	pooled bool
 }
 
 // Done returns a channel that delivers the result exactly once.

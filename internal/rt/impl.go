@@ -22,7 +22,12 @@ import (
 // implementation.
 type Invocation struct {
 	Method string
-	Args   [][]byte
+	// Args are borrowed views into the request's transport buffer:
+	// valid only until the handler returns (results may alias them —
+	// the reply is marshaled before the frame is released). A handler
+	// that stores an argument past return, or hands it to another
+	// goroutine, must copy it first.
+	Args [][]byte
 	// Env is the security environment triple the call is performed in
 	// (§2.4).
 	Env wire.Env
@@ -86,7 +91,9 @@ func (inv *Invocation) Arg(i int) ([]byte, error) {
 }
 
 // Handler implements one member function. A non-nil error is reported
-// to the caller as an application error (wire.ErrApp).
+// to the caller as an application error (wire.ErrApp). The returned
+// result slices may alias inv.Args (zero-copy echo is legal): the
+// runtime marshals the reply before releasing the request frame.
 type Handler func(inv *Invocation) ([][]byte, error)
 
 // Impl is the behaviour of a Legion object. The runtime supplies the

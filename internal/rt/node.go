@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/buf"
 	"repro/internal/loid"
 	"repro/internal/metrics"
 	"repro/internal/oa"
@@ -83,7 +84,7 @@ func NewNode(t transport.Transport, reg *metrics.Registry, name string) (*Node, 
 	for i := range n.pending {
 		n.pending[i].m = make(map[uint64]*Future)
 	}
-	ep.SetHandler(n.receive)
+	ep.SetFrameHandler(n.receiveFrame)
 	return n, nil
 }
 
@@ -114,7 +115,7 @@ func (n *Node) Spawn(l loid.LOID, impl Impl, opts ...SpawnOption) (*Object, erro
 		node:    n,
 		self:    l,
 		impl:    impl,
-		mailbox: make(chan *wire.Message, mailboxDepth),
+		mailbox: make(chan *wire.Frame, mailboxDepth),
 		done:    make(chan struct{}),
 	}
 	for _, opt := range opts {
@@ -201,87 +202,169 @@ func (n *Node) Close() error {
 	return n.ep.Close()
 }
 
-// receive is the endpoint handler: it decodes and routes one message.
-// The data buffer is only borrowed for the duration of the call
-// (transports may recycle it); wire.Unmarshal copies everything out.
-func (n *Node) receive(data []byte) {
-	msg, err := wire.Unmarshal(data)
-	if err != nil {
+// receiveFrame is the endpoint frame handler: it parses the frame
+// lazily — offsets only, no payload copies — and routes it. Request
+// frames headed for a mailbox take their own reference on the
+// transport buffer (Frame.Own), so the payload bytes flow from the
+// socket to the dispatched method without ever being copied. sync
+// reports that the delivery runs on the sender's goroutine (the mem
+// fabric's zero-latency path).
+func (n *Node) receiveFrame(b *buf.Buffer, data []byte, sync bool) {
+	f := wire.GetFrame()
+	if err := f.Parse(data); err != nil {
+		f.Close()
 		n.cGarbage.Inc()
 		return
 	}
-	switch msg.Kind {
+	switch f.Kind {
 	case wire.KindReply:
-		s := &n.pending[msg.ID&(pendingShards-1)]
-		s.mu.Lock()
-		f, ok := s.m[msg.ID]
-		if ok {
-			f.remaining--
-			if f.remaining <= 0 {
-				delete(s.m, msg.ID)
-			}
-		}
-		s.mu.Unlock()
-		if ok {
-			res := &Result{Code: msg.Code, ErrText: msg.ErrText, Results: msg.Args}
-			if len(msg.ReplyTo.Elements) > 0 {
-				// Replies carry the responder's address so the caller
-				// can attribute them to an endpoint (health tracking).
-				res.From = msg.ReplyTo.Elements[0]
-			}
-			f.complete(res)
-		}
+		n.completeReply(f)
+		f.Close()
 	case wire.KindRequest, wire.KindOneWay:
-		v, ok := n.objects.Load(msg.Target.ID())
+		v, ok := n.objects.Load(f.TargetID())
 		if !ok {
 			// The sender's binding is stale (§4.1.4); tell it so.
-			if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
-				n.replyTo(msg, wire.ErrNoSuchObject, fmt.Sprintf("object %v is not active here", msg.Target), nil)
-			}
 			n.cStale.Inc()
+			if f.Kind == wire.KindRequest && f.HasReplyTo() {
+				n.replyFrame(f, wire.ErrNoSuchObject, fmt.Sprintf("object %v is not active here", f.Target()), nil)
+			}
+			f.Close()
 			return
 		}
 		o := v.(*Object)
-		select {
-		case o.mailbox <- msg:
-		case <-o.done:
-			if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
-				n.replyTo(msg, wire.ErrNoSuchObject, "object stopped", nil)
+		if o.inline {
+			// Leaf-method fast path (WithInlineDispatch): run the method
+			// right here — on the sender's goroutine for the mem fabric's
+			// synchronous path, on the read loop for TCP — skipping the
+			// mailbox handoff and its goroutine switches entirely. The
+			// frame's bytes stay valid for the duration of the call (the
+			// transport's reference pins b), so no Own is needed.
+			select {
+			case <-o.done:
+				if f.Kind == wire.KindRequest && f.HasReplyTo() {
+					n.replyFrame(f, wire.ErrNoSuchObject, "object stopped", nil)
+				}
+			default:
+				o.serveInline(f)
 			}
+			f.Close()
+			return
 		}
+		f.Own(b) // the mailbox outlives this call: pin the buffer
+		select {
+		case o.mailbox <- f:
+		case <-o.done:
+			if f.Kind == wire.KindRequest && f.HasReplyTo() {
+				n.replyFrame(f, wire.ErrNoSuchObject, "object stopped", nil)
+			}
+			f.Close()
+		}
+	default:
+		n.cGarbage.Inc()
+		f.Close()
 	}
 }
 
-func (n *Node) replyTo(req *wire.Message, code wire.Code, errText string, results [][]byte) {
-	rep := req.Reply(code, errText, results)
-	// Stamp the reply with this node's address: the caller uses it to
-	// attribute the reply to a concrete endpoint for health tracking.
-	rep.ReplyTo = n.addr
-	wb := wire.GetBuf()
-	buf := rep.AppendMarshal(wb.B[:0])
-	wb.B = buf
+// completeReply matches a reply frame to its pending future. The
+// completion happens UNDER the shard lock: once the entry leaves the
+// table and the lock is released, the future may be recycled
+// (putFuture), so no completion may touch it after that point.
+func (n *Node) completeReply(f *wire.Frame) {
+	s := &n.pending[f.ID&(pendingShards-1)]
+	s.mu.Lock()
+	fu, ok := s.m[f.ID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	fu.remaining--
+	if fu.remaining <= 0 {
+		delete(s.m, f.ID)
+	}
+	res := &Result{Code: f.Code, ErrText: f.ErrText(), Results: f.CopyArgs()}
+	if f.HasReplyTo() {
+		// Replies carry the responder's address so the caller can
+		// attribute them to an endpoint (health tracking).
+		res.From = f.ReplyToElem(0)
+	}
+	fu.complete(res)
+	s.mu.Unlock()
+}
+
+// replyFrame answers a request frame without materializing a Message:
+// the reply is marshalled straight into a pooled buffer and handed to
+// the transport zero-copy.
+func (n *Node) replyFrame(req *wire.Frame, code wire.Code, errText string, results [][]byte) {
+	wb := buf.Get()
+	// Stamp the reply with this node's address (the from argument): the
+	// caller uses it to attribute the reply to a concrete endpoint for
+	// health tracking.
+	wb.B = wire.AppendReply(wb.B, req.ID, req.EnvCalling(), code, errText, results, n.addr)
 	// Best effort; the reply address may itself be gone.
-	for _, e := range req.ReplyTo.Elements {
-		if err := n.ep.Send(e, buf); err == nil {
+	for i := 0; i < req.ReplyToLen(); i++ {
+		if err := n.ep.SendBuf(req.ReplyToElem(i), wb); err == nil {
 			break
 		}
 	}
-	wb.Put()
+	wb.Release()
 }
 
+// futureChanCap is the reply-channel capacity of pooled futures; waves
+// expecting more replies than this get a fresh, exactly-sized future.
+const futureChanCap = 8
+
+// futurePool recycles the deliver loop's futures: every synchronous
+// call registers one, so allocating the Future, its channel, and a
+// fresh table entry per call is measurable on the fast path.
+var futurePool sync.Pool
+
 // newFuture registers a pending future under a fresh correlation id,
-// expecting up to expect replies (one per replica contacted).
-func (n *Node) newFuture(expect int) *Future {
+// expecting up to expect replies (one per replica contacted). pooled
+// futures are recycled by the deliver loop (putFuture) once out of the
+// table; futures handed to users (Invoke) are never pooled — their
+// lifetime is the user's business.
+func (n *Node) newFuture(expect int, pooled bool) *Future {
 	if expect < 1 {
 		expect = 1
 	}
-	id := n.nextMsg.Add(1)
-	f := &Future{id: id, ch: make(chan *Result, expect), node: n, remaining: expect}
-	s := &n.pending[id&(pendingShards-1)]
+	var f *Future
+	if pooled && expect <= futureChanCap {
+		if v, ok := futurePool.Get().(*Future); ok {
+			f = v
+		} else {
+			f = &Future{ch: make(chan *Result, futureChanCap), pooled: true}
+		}
+	} else {
+		f = &Future{ch: make(chan *Result, expect)}
+	}
+	f.node = n
+	f.remaining = expect
+	f.id = n.nextMsg.Add(1)
+	s := &n.pending[f.id&(pendingShards-1)]
 	s.mu.Lock()
-	s.m[id] = f
+	s.m[f.id] = f
 	s.mu.Unlock()
 	return f
+}
+
+// putFuture recycles a deliver-loop future. The caller must first make
+// sure the future is out of the pending table (the final reply deleted
+// the entry, or cancel did): completions happen under the shard lock,
+// so once the entry is gone no completion can race the recycle. Late
+// replies parked in the channel are drained so the next user starts
+// empty.
+func (n *Node) putFuture(f *Future) {
+	if f == nil || !f.pooled {
+		return
+	}
+	for {
+		select {
+		case <-f.ch:
+		default:
+			futurePool.Put(f)
+			return
+		}
+	}
 }
 
 func (n *Node) cancel(id uint64) {
@@ -308,6 +391,11 @@ func (n *Node) adjustPending(id uint64, delta int) {
 // send transmits an encoded message to one element.
 func (n *Node) send(to oa.Element, data []byte) error {
 	return n.ep.Send(to, data)
+}
+
+// sendBuf transmits one frame zero-copy (see transport.Endpoint.SendBuf).
+func (n *Node) sendBuf(to oa.Element, b *buf.Buffer) error {
+	return n.ep.SendBuf(to, b)
 }
 
 // mailboxDepth bounds each object's queue of unprocessed messages.

@@ -27,6 +27,15 @@ type Object struct {
 	caller      *Caller
 	concurrency int
 
+	// inline marks the object for inline dispatch (WithInlineDispatch):
+	// requests run on the delivering goroutine instead of being handed
+	// to the mailbox.
+	inline bool
+	// dmu serializes dispatch for single-worker objects whose methods
+	// may run off the mailbox goroutine (inline dispatch, co-resident
+	// bypass), preserving the one-method-at-a-time model.
+	dmu sync.Mutex
+
 	// cReq is the interned "req/<label>" counter (nil when unlabeled),
 	// so serving a request never builds a metric name string.
 	cReq *metrics.Counter
@@ -37,7 +46,7 @@ type Object struct {
 	// skip idle objects.
 	muts atomic.Uint64
 
-	mailbox chan *wire.Message
+	mailbox chan *wire.Frame
 	done    chan struct{}
 	once    sync.Once
 }
@@ -75,6 +84,27 @@ func WithConcurrency(n int) SpawnOption {
 	return func(o *Object) { o.concurrency = n }
 }
 
+// WithInlineDispatch opts the object into inline dispatch: incoming
+// requests execute directly on the delivering goroutine — the sender's
+// own goroutine for co-resident and in-memory-fabric callers, the read
+// loop for TCP — instead of being queued to the mailbox. This removes
+// every goroutine handoff from the invocation path and is what makes a
+// cached-binding call "as close to a raw message send as possible"
+// (§5.2.1).
+//
+// The option is ONLY for leaf methods: fast, non-blocking handlers
+// that invoke no other objects. A method that blocks holds the
+// delivering goroutine hostage — the caller's timeout machinery sits
+// below it on the same stack and cannot fire — and a method that makes
+// nested calls can deadlock the transport (its reply may need the very
+// read loop the method is occupying). Single-worker objects keep their
+// sequential model: inline dispatches are serialized with a mutex.
+// Objects spawned with WithConcurrency run inline dispatches
+// concurrently, exactly like their mailbox workers would.
+func WithInlineDispatch() SpawnOption {
+	return func(o *Object) { o.inline = true }
+}
+
 // LOID returns the object's name.
 func (o *Object) LOID() loid.LOID { return o.self }
 
@@ -101,51 +131,106 @@ func (o *Object) SetPolicy(p security.Policy) { o.policy = p }
 func (o *Object) loop() {
 	for {
 		select {
-		case msg := <-o.mailbox:
-			o.serve(msg)
+		case f := <-o.mailbox:
+			o.serve(f)
+			f.Close()
 		case <-o.done:
 			return
 		}
 	}
 }
 
-func (o *Object) serve(msg *wire.Message) {
+// serveInline runs one request on the delivering goroutine (see
+// WithInlineDispatch). Single-worker objects are serialized with the
+// dispatch mutex so inline deliveries from concurrent senders keep the
+// one-method-at-a-time model.
+func (o *Object) serveInline(f *wire.Frame) {
+	if o.concurrency <= 1 {
+		o.dmu.Lock()
+		defer o.dmu.Unlock()
+	}
+	o.serve(f)
+}
+
+// serve runs one framed request. The frame is borrowed: its bytes stay
+// valid for the duration of the call (including marshalling the reply,
+// which copies any results that alias the request), and the caller
+// closes it after serve returns.
+func (o *Object) serve(f *wire.Frame) {
 	if o.cReq != nil {
 		o.cReq.Inc()
 	}
+	method := f.Method()
 	// A traced request grows a serve span covering the whole method
 	// execution on this object; children of a sampled trace are always
 	// recorded so the trace is complete across hops. Untraced messages
 	// pay only the TraceID comparison.
 	var span *trace.Span
-	if msg.Env.TraceID != 0 {
+	if tid := f.TraceID(); tid != 0 {
 		span = o.node.tracer.Load().Child(
-			trace.SpanContext{TraceID: msg.Env.TraceID, SpanID: msg.Env.SpanID},
-			"serve", msg.Method, o.component())
+			trace.SpanContext{TraceID: tid, SpanID: f.SpanID()},
+			"serve", method, o.component())
 	}
 	// A request whose propagated deadline already expired is not worth
 	// running: the caller has given up, and the answer — if one is
 	// still listening — is definitive either way.
-	if msg.Env.Deadline != 0 && time.Now().UnixNano() > msg.Env.Deadline {
+	if dl := f.Deadline(); dl != 0 && time.Now().UnixNano() > dl {
 		if span != nil {
 			span.Event("deadline", "expired before dispatch")
 			span.Finish(wire.ErrDeadlineExceeded.String())
 		}
-		if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
-			o.node.replyTo(msg, wire.ErrDeadlineExceeded, "deadline expired before dispatch", nil)
+		if f.Kind == wire.KindRequest && f.HasReplyTo() {
+			o.node.replyFrame(f, wire.ErrDeadlineExceeded, "deadline expired before dispatch", nil)
 		}
 		return
 	}
-	code, errText, results := o.safeDispatch(msg, span)
+	env := f.Env()
+	code, errText, results := o.safeDispatch(method, &env, f.ArgViews(nil), span)
 	if span != nil {
 		if errText != "" {
 			span.Event("error", errText)
 		}
 		span.Finish(code.String())
 	}
-	if msg.Kind == wire.KindRequest && !msg.ReplyTo.IsZero() {
-		o.node.replyTo(msg, code, errText, results)
+	if f.Kind == wire.KindRequest && f.HasReplyTo() {
+		o.node.replyFrame(f, code, errText, results)
 	}
+}
+
+// serveLocal is the co-resident bypass: the caller's goroutine runs
+// the method directly — no marshal, no transport, no correlation id —
+// and builds the Result in place. Semantics mirror serve: per-object
+// metrics, the serve span, deadline rejection, MayI, and panic
+// confinement all apply identically.
+func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result {
+	if o.concurrency <= 1 {
+		o.dmu.Lock()
+		defer o.dmu.Unlock()
+	}
+	if o.cReq != nil {
+		o.cReq.Inc()
+	}
+	var span *trace.Span
+	if env.TraceID != 0 {
+		span = o.node.tracer.Load().Child(
+			trace.SpanContext{TraceID: env.TraceID, SpanID: env.SpanID},
+			"serve", method, o.component())
+	}
+	if env.Deadline != 0 && time.Now().UnixNano() > env.Deadline {
+		if span != nil {
+			span.Event("deadline", "expired before dispatch")
+			span.Finish(wire.ErrDeadlineExceeded.String())
+		}
+		return &Result{Code: wire.ErrDeadlineExceeded, ErrText: "deadline expired before dispatch", From: o.node.Element()}
+	}
+	code, errText, results := o.safeDispatch(method, env, args, span)
+	if span != nil {
+		if errText != "" {
+			span.Event("error", errText)
+		}
+		span.Finish(code.String())
+	}
+	return &Result{Code: code, ErrText: errText, Results: results, From: o.node.Element()}
 }
 
 // component names this object in trace spans: its metric label when it
@@ -162,28 +247,29 @@ func (o *Object) component() string {
 // as an object exception, rather than taking the whole node down —
 // the runtime-level half of the Host Object's duty to "report object
 // exceptions" (§2.3).
-func (o *Object) safeDispatch(msg *wire.Message, span *trace.Span) (code wire.Code, errText string, results [][]byte) {
+func (o *Object) safeDispatch(method string, env *wire.Env, args [][]byte, span *trace.Span) (code wire.Code, errText string, results [][]byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			o.node.cExcept.Inc()
-			code, errText, results = wire.ErrApp, fmt.Sprintf("object exception in %s: %v", msg.Method, r), nil
+			code, errText, results = wire.ErrApp, fmt.Sprintf("object exception in %s: %v", method, r), nil
 		}
 	}()
-	return o.dispatch(msg, span)
+	return o.dispatch(method, env, args, span)
 }
 
 // dispatch enforces MayI, answers runtime-provided member functions,
-// and routes the rest to the Impl.
-func (o *Object) dispatch(msg *wire.Message, span *trace.Span) (wire.Code, string, [][]byte) {
+// and routes the rest to the Impl. args are borrowed views of the
+// request frame, valid until the reply has been marshalled.
+func (o *Object) dispatch(method string, env *wire.Env, args [][]byte, span *trace.Span) (wire.Code, string, [][]byte) {
 	// Every method invocation is performed in the (RA, SA, CA)
 	// environment and checked by the object's MayI (§2.4). MayI itself
 	// is always answerable so callers can probe their own access.
-	if o.policy != nil && msg.Method != "MayI" {
-		if err := o.policy.MayI(msg.Env, msg.Method); err != nil {
+	if o.policy != nil && method != "MayI" {
+		if err := o.policy.MayI(*env, method); err != nil {
 			return wire.ErrDenied, err.Error(), nil
 		}
 	}
-	switch msg.Method {
+	switch method {
 	case "Ping":
 		return wire.OK, "", nil
 	case "Iam":
@@ -191,11 +277,11 @@ func (o *Object) dispatch(msg *wire.Message, span *trace.Span) (wire.Code, strin
 	case "MayI":
 		// MayI(method) returns whether the calling environment could
 		// invoke the named method.
-		if len(msg.Args) != 1 {
+		if len(args) != 1 {
 			return wire.ErrBadRequest, "MayI needs one argument", nil
 		}
 		if o.policy != nil {
-			if err := o.policy.MayI(msg.Env, wire.AsString(msg.Args[0])); err != nil {
+			if err := o.policy.MayI(*env, wire.AsString(args[0])); err != nil {
 				return wire.OK, "", [][]byte{wire.Bool(false), wire.String(err.Error())}
 			}
 		}
@@ -209,29 +295,32 @@ func (o *Object) dispatch(msg *wire.Message, span *trace.Span) (wire.Code, strin
 		}
 		return wire.OK, "", [][]byte{state}
 	case "RestoreState":
-		if len(msg.Args) != 1 {
+		if len(args) != 1 {
 			return wire.ErrBadRequest, "RestoreState needs one argument", nil
 		}
-		if err := o.impl.RestoreState(msg.Args[0]); err != nil {
+		// The state outlives the frame the argument aliases; copy it
+		// before handing it to the Impl.
+		state := append([]byte(nil), args[0]...)
+		if err := o.impl.RestoreState(state); err != nil {
 			return wire.ErrApp, err.Error(), nil
 		}
 		o.muts.Add(1)
 		return wire.OK, "", nil
 	}
 	o.muts.Add(1)
-	inv := &Invocation{Method: msg.Method, Args: msg.Args, Env: msg.Env, Obj: o, Span: span}
-	if msg.Env.Deadline != 0 {
-		inv.Deadline = time.Unix(0, msg.Env.Deadline)
+	inv := &Invocation{Method: method, Args: args, Env: *env, Obj: o, Span: span}
+	if env.Deadline != 0 {
+		inv.Deadline = time.Unix(0, env.Deadline)
 	}
 	if span != nil {
 		inv.Trace = span.Context()
-	} else if msg.Env.TraceID != 0 {
+	} else if env.TraceID != 0 {
 		// No tracer on this node: keep propagating the caller's
 		// identity so downstream hops still join the trace.
 		inv.Trace = trace.SpanContext{
-			TraceID:      msg.Env.TraceID,
-			SpanID:       msg.Env.SpanID,
-			ParentSpanID: msg.Env.ParentSpanID,
+			TraceID:      env.TraceID,
+			SpanID:       env.SpanID,
+			ParentSpanID: env.ParentSpanID,
 		}
 	}
 	results, err := o.impl.Dispatch(inv)
@@ -261,6 +350,17 @@ func (o *Object) FullInterface() *idl.Interface {
 func (o *Object) stop() {
 	o.once.Do(func() {
 		close(o.done)
+		// Queued frames hold pooled buffers the workers will never
+		// drain; release them now that no worker will race the drain.
+	drain:
+		for {
+			select {
+			case f := <-o.mailbox:
+				f.Close()
+			default:
+				break drain
+			}
+		}
 		if s, ok := o.impl.(Stopper); ok {
 			s.Stop()
 		}

@@ -7,23 +7,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buf"
 	"repro/internal/metrics"
 	"repro/internal/oa"
 )
-
-// memBufPool recycles the per-delivery payload copies the fabric makes
-// (the sender may reuse its buffer the moment Send returns, so the
-// fabric owns a copy until the receiving handler is done with it).
-var memBufPool = sync.Pool{
-	New: func() any { return &frameBuf{b: make([]byte, 0, 2048)} },
-}
-
-func putMemBuf(fb *frameBuf) {
-	if cap(fb.b) > pooledReadLimit {
-		fb.b = make([]byte, 0, 2048)
-	}
-	memBufPool.Put(fb)
-}
 
 // Fabric is the in-process simulated network. Endpoints are named by
 // TypeMem elements carrying a fabric-unique id. The fabric can inject
@@ -230,7 +217,7 @@ func (f *Fabric) NewEndpoint() (Endpoint, error) {
 	ep := &memEndpoint{
 		fabric: f,
 		id:     f.nextID.Add(1),
-		queue:  make(chan *frameBuf, 1024),
+		queue:  make(chan *buf.Buffer, 1024),
 		done:   make(chan struct{}),
 	}
 	f.endpoints.Store(ep.id, ep)
@@ -249,7 +236,21 @@ func (f *Fabric) NewEndpoint() (Endpoint, error) {
 // SendFrom delivers data to the endpoint named by to, applying loss,
 // latency, and the partition state between from and the destination.
 // from may be 0 for "source unknown" (partition checks are skipped).
+// The data buffer is copied; SendBuf is the zero-copy form.
 func (f *Fabric) SendFrom(from uint64, to oa.Element, data []byte) error {
+	fb := buf.Get()
+	fb.B = append(fb.B, data...)
+	err := f.sendBufFrom(from, to, fb)
+	fb.Release()
+	return err
+}
+
+// sendBufFrom is the delivery core: it applies chaos (loss, latency,
+// partitions, duplication, reorder) and routes the reference-counted
+// frame to the destination. Every path that needs fb past return takes
+// its own reference; the caller keeps (and eventually releases) the
+// reference it came in with.
+func (f *Fabric) sendBufFrom(from uint64, to oa.Element, fb *buf.Buffer) error {
 	id, ok := oa.MemID(to)
 	if !ok {
 		return ErrUnreachable
@@ -328,37 +329,33 @@ func (f *Fabric) SendFrom(from uint64, to oa.Element, data []byte) error {
 		dup := f.rng.Float64() < p
 		f.mu.Unlock()
 		if dup {
-			// At-least-once delivery: a second copy arrives slightly
-			// after the first.
+			// At-least-once delivery: a second reference to the same
+			// frame arrives slightly after the first.
 			f.cDup.Inc()
-			fb := memBufPool.Get().(*frameBuf)
-			fb.b = append(fb.b[:0], data...)
-			time.AfterFunc(latency+50*time.Microsecond, func() { ep.enqueue(fb) })
+			dupRef := fb.Retain()
+			time.AfterFunc(latency+50*time.Microsecond, func() { ep.enqueue(dupRef) })
 		}
 	}
 	if latency > 0 {
-		// Deferred delivery: copy so the sender may reuse its buffer; the
-		// pooled copy is recycled by the receiving pump once the handler
-		// returns.
-		fb := memBufPool.Get().(*frameBuf)
-		fb.b = append(fb.b[:0], data...)
-		time.AfterFunc(latency, func() { ep.enqueue(fb) })
+		// Deferred delivery: the fabric takes its own reference so the
+		// sender may release (but not mutate) its buffer the moment
+		// SendBuf returns; the pump drops the reference once the
+		// handler is done.
+		ref := fb.Retain()
+		time.AfterFunc(latency, func() { ep.enqueue(ref) })
 		return nil
 	}
 	// Zero-latency fast path: run the handler inline on the sender's
-	// goroutine. The Handler contract only lends the buffer for the
-	// duration of the call, and the sender's buffer is valid for exactly
-	// that long — so no copy, no queue, and no pump wakeup. Handlers
-	// (per their contract) hand off to mailboxes and return quickly, so
-	// inline execution cannot recurse deeply.
+	// goroutine — no copy, no queue, no pump wakeup, and no reference
+	// traffic (the sender's reference pins the buffer for the duration
+	// of the call). sync=true tells the handler the sender is blocked
+	// on it, so inline dispatch of the method itself is safe.
 	select {
 	case <-ep.done:
 		return ErrUnreachable
 	default:
 	}
-	if h := ep.handler.Load(); h != nil {
-		(*h)(data)
-	}
+	ep.deliver(fb, true)
 	return nil
 }
 
@@ -380,10 +377,10 @@ func (f *Fabric) Endpoints() int {
 type memEndpoint struct {
 	fabric  *Fabric
 	id      uint64
-	handler atomic.Pointer[Handler]
+	handler atomic.Pointer[FrameHandler]
 	down    atomic.Bool // crashed: all traffic silently dropped
 
-	queue chan *frameBuf
+	queue chan *buf.Buffer
 	done  chan struct{}
 	once  sync.Once
 }
@@ -400,21 +397,43 @@ func (e *memEndpoint) Send(to oa.Element, data []byte) error {
 	return e.fabric.SendFrom(e.id, to, data)
 }
 
+func (e *memEndpoint) SendBuf(to oa.Element, b *buf.Buffer) error {
+	if e.down.Load() {
+		e.fabric.cCrashDrop.Inc()
+		return nil
+	}
+	return e.fabric.sendBufFrom(e.id, to, b)
+}
+
 func (e *memEndpoint) SetHandler(h Handler) {
+	fh := FrameHandler(func(_ *buf.Buffer, data []byte, _ bool) { h(data) })
+	e.handler.Store(&fh)
+}
+
+func (e *memEndpoint) SetFrameHandler(h FrameHandler) {
 	e.handler.Store(&h)
 }
 
-func (e *memEndpoint) enqueue(fb *frameBuf) {
+// deliver runs the installed handler with the fabric's reference to fb
+// pinned for the duration of the call.
+func (e *memEndpoint) deliver(fb *buf.Buffer, sync bool) {
+	if h := e.handler.Load(); h != nil {
+		(*h)(fb, fb.B, sync)
+	}
+}
+
+// enqueue hands a deferred delivery (and its reference) to the pump.
+func (e *memEndpoint) enqueue(fb *buf.Buffer) {
 	if e.down.Load() {
 		// Delivery (e.g. a delayed message) raced a crash: drop it.
 		e.fabric.cCrashDrop.Inc()
-		putMemBuf(fb)
+		fb.Release()
 		return
 	}
 	select {
 	case e.queue <- fb:
 	case <-e.done:
-		putMemBuf(fb)
+		fb.Release()
 	}
 }
 
@@ -422,10 +441,8 @@ func (e *memEndpoint) pump() {
 	for {
 		select {
 		case fb := <-e.queue:
-			if h := e.handler.Load(); h != nil {
-				(*h)(fb.b)
-			}
-			putMemBuf(fb)
+			e.deliver(fb, false)
+			fb.Release()
 		case <-e.done:
 			return
 		}
@@ -438,6 +455,16 @@ func (e *memEndpoint) Close() error {
 		f := e.fabric
 		if _, loaded := f.endpoints.LoadAndDelete(e.id); loaded {
 			f.nEps.Add(-1)
+		}
+		// Drop references parked in the queue; the pump may have exited
+		// without draining them.
+		for {
+			select {
+			case fb := <-e.queue:
+				fb.Release()
+			default:
+				return
+			}
 		}
 	})
 	return nil

@@ -1,14 +1,15 @@
 package transport
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/buf"
 	"repro/internal/metrics"
 	"repro/internal/oa"
 )
@@ -17,49 +18,32 @@ import (
 // limits with headroom).
 const maxFrame = 32 << 20
 
-// sendQueueDepth bounds the frames queued to one destination's writer
-// goroutine; a full queue applies backpressure to senders.
+// sendQueueDepth bounds the frames queued to one reactor's writer
+// loop; a full queue applies backpressure to senders.
 const sendQueueDepth = 256
 
-// writerBatch caps how many queued frames the writer coalesces into one
-// buffered flush. Batching amortizes the kernel write; the writer still
-// flushes immediately when its queue runs dry, so an isolated message
-// pays no added latency.
+// writerBatch caps how many queued frames one writev gathers. Batching
+// amortizes the kernel write; the writer still flushes immediately when
+// its queue runs dry, so an isolated message pays no added latency.
 const writerBatch = 64
-
-// pooledReadLimit is the largest frame served from the pooled read
-// buffer; larger frames get a one-off allocation.
-const pooledReadLimit = 64 << 10
-
-// framePool recycles outbound frame buffers (4-byte length prefix +
-// payload) between Send and the writer goroutine.
-var framePool = sync.Pool{
-	New: func() any { return &frameBuf{b: make([]byte, 0, 2048)} },
-}
-
-type frameBuf struct{ b []byte }
-
-func putFrame(f *frameBuf) {
-	if cap(f.b) > pooledReadLimit {
-		f.b = make([]byte, 0, 2048)
-	}
-	framePool.Put(f)
-}
-
-// readBufPool recycles inbound frame buffers for frames under
-// pooledReadLimit. Handlers must not retain the buffer (see Handler).
-var readBufPool = sync.Pool{
-	New: func() any { return &frameBuf{b: make([]byte, pooledReadLimit)} },
-}
 
 // TCP is a Transport over real TCP sockets, for multi-process Legion
 // deployments. Each endpoint owns one listener; messages are
-// length-prefixed frames. Outbound traffic to each destination flows
-// through a dedicated writer goroutine behind a bounded queue: senders
-// never hold a lock across a kernel write, consecutive frames are
-// coalesced into one buffered flush, and redialing happens in the
-// writer. Connections are cached per destination and redialed on
-// failure.
+// length-prefixed frames.
+//
+// Outbound traffic is organized as per-destination reactor shards: each
+// destination gets up to Reactors independent connections, each owned
+// by one event loop that drains a bounded queue with writev
+// (net.Buffers) batching — the frame headers and reference-counted
+// payload buffers go to the kernel as one iovec list, so a frame is
+// never copied between the sender and the socket. Sends are sharded
+// round-robin across the reactors, so concurrent senders to one peer
+// do not serialize on a single writer goroutine or socket. Flushing is
+// adaptive: a loop that finds its queue dry writes immediately; under
+// load it coalesces up to writerBatch frames per syscall.
+//
+// Inbound, every accepted connection (one per remote reactor) gets its
+// own read loop delivering frames in pooled ref-counted buffers.
 type TCP struct {
 	// ListenHost is the host/IP to bind listeners on. Defaults to
 	// 127.0.0.1, which keeps tests and examples self-contained.
@@ -67,6 +51,12 @@ type TCP struct {
 	// Registry receives transport metrics (net/tcp_dropped: outbound
 	// frames lost when a destination's connection died). Nil discards.
 	Registry *metrics.Registry
+	// Reactors is the number of parallel connections (and event loops)
+	// per destination. 0 means min(GOMAXPROCS, 8). Frames to one
+	// destination are sharded across reactors and may arrive out of
+	// order relative to each other, which the transport contract
+	// permits.
+	Reactors int
 }
 
 // NewEndpoint starts a listener on an ephemeral port.
@@ -78,6 +68,13 @@ func (t *TCP) NewEndpoint() (Endpoint, error) {
 	reg := t.Registry
 	if reg == nil {
 		reg = metrics.Nop
+	}
+	reactors := t.Reactors
+	if reactors <= 0 {
+		reactors = runtime.GOMAXPROCS(0)
+		if reactors > 8 {
+			reactors = 8
+		}
 	}
 	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
@@ -92,7 +89,7 @@ func (t *TCP) NewEndpoint() (Endpoint, error) {
 	ep := &tcpEndpoint{
 		ln:       ln,
 		elem:     elem,
-		conns:    make(map[string]*tcpConn),
+		nShards:  reactors,
 		accepted: make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 		cDropped: reg.Counter("net/tcp_dropped"),
@@ -102,14 +99,16 @@ func (t *TCP) NewEndpoint() (Endpoint, error) {
 }
 
 type tcpEndpoint struct {
-	ln   net.Listener
-	elem oa.Element
+	ln      net.Listener
+	elem    oa.Element
+	nShards int
 
-	hmu     sync.Mutex
-	handler Handler
+	handler atomic.Pointer[FrameHandler]
 
-	cmu   sync.Mutex
-	conns map[string]*tcpConn
+	// conns maps destination elements to their send-side state. Keyed
+	// by the element itself (a comparable value) so the send fast path
+	// never formats a host:port string; lock-free once populated.
+	conns sync.Map // oa.Element -> *tcpConn
 
 	// amu guards accepted, the inbound sockets currently being read;
 	// Close tears them down so a closed endpoint goes fully silent
@@ -126,14 +125,16 @@ type tcpEndpoint struct {
 	once sync.Once
 }
 
-// tcpConn is the send-side state for one destination: the current
-// writer generation plus the sticky error from the last failed one.
+// tcpConn is the send-side state for one destination: the reactor
+// shards (each one connection generation + event loop) plus the sticky
+// drop count from failed generations.
 type tcpConn struct {
 	hostport string
+	rr       atomic.Uint32 // round-robin shard choice
+	dropped  atomic.Uint64 // frames lost when a writer died; surfaced on the next Send
 
-	mu      sync.Mutex
-	w       *tcpWriter // nil when no live connection
-	dropped uint64     // frames lost when a writer died; surfaced on the next Send
+	mu     sync.Mutex
+	shards []*tcpWriter // nil slots: not yet dialed (or fell over)
 }
 
 // noteDropped records n lost frames against the destination: they are
@@ -144,26 +145,24 @@ func (e *tcpEndpoint) noteDropped(tc *tcpConn, n uint64) {
 		return
 	}
 	e.cDropped.Add(n)
-	tc.mu.Lock()
-	tc.dropped += n
-	tc.mu.Unlock()
+	tc.dropped.Add(n)
 }
 
 // takeDropped consumes the pending drop report.
 func (tc *tcpConn) takeDropped() uint64 {
-	tc.mu.Lock()
-	n := tc.dropped
-	tc.dropped = 0
-	tc.mu.Unlock()
-	return n
+	return tc.dropped.Swap(0)
 }
 
-// tcpWriter is one connection generation: a socket, a bounded frame
-// queue, and the goroutine that drains it.
+// tcpWriter is one reactor shard generation: a socket, a bounded frame
+// queue, and the event loop that drains it.
 type tcpWriter struct {
-	cmu  sync.Mutex // guards conn (replaced on in-writer redial)
-	conn net.Conn
-	ch   chan *frameBuf
+	shard int
+	cmu   sync.Mutex // guards conn (replaced on in-loop redial)
+	conn  net.Conn
+	// wmu serializes actual socket writes between the event loop and
+	// SendBuf's direct-write fast path (see SendBuf).
+	wmu  sync.Mutex
+	ch   chan *buf.Buffer
 	dead chan struct{} // closed when this generation fails
 	once sync.Once
 }
@@ -187,20 +186,27 @@ func (w *tcpWriter) closeConn() {
 	conn.Close()
 }
 
+func (w *tcpWriter) current() net.Conn {
+	w.cmu.Lock()
+	conn := w.conn
+	w.cmu.Unlock()
+	return conn
+}
+
 func (e *tcpEndpoint) Element() oa.Element { return e.elem }
 
 func (e *tcpEndpoint) SetHandler(h Handler) {
-	e.hmu.Lock()
-	defer e.hmu.Unlock()
-	e.handler = h
+	fh := FrameHandler(func(_ *buf.Buffer, data []byte, _ bool) { h(data) })
+	e.handler.Store(&fh)
 }
 
-func (e *tcpEndpoint) handle(data []byte) {
-	e.hmu.Lock()
-	h := e.handler
-	e.hmu.Unlock()
-	if h != nil {
-		h(data)
+func (e *tcpEndpoint) SetFrameHandler(h FrameHandler) {
+	e.handler.Store(&h)
+}
+
+func (e *tcpEndpoint) handle(fb *buf.Buffer) {
+	if h := e.handler.Load(); h != nil {
+		(*h)(fb, fb.B, false)
 	}
 }
 
@@ -234,6 +240,18 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// readChunk is the read loop's accumulation window. It matches
+// buf.MaxPooled so the window buffer itself recycles through the pool.
+const readChunk = buf.MaxPooled
+
+// readLoop drains one inbound connection with coalesced reads: instead
+// of two syscalls per frame (header, then payload), it reads whatever
+// the socket has — often a full frame, under load many — into one
+// pooled window buffer and carves frames out of it as views. Handlers
+// that park a frame past their return take a reference on the window
+// (Frame.Own), so frame payloads are never copied out of the read
+// buffer; the loop moves to a fresh window when parked references pin
+// the current one.
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -241,99 +259,182 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		delete(e.accepted, conn)
 		e.amu.Unlock()
 	}()
-	var lenBuf [4]byte
+	rb := buf.GetSize(readChunk)
+	defer func() { rb.Release() }()
+	start, end := 0, 0 // rb.B[start:end] holds unparsed bytes
 	for {
-		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-			return
-		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n == 0 || n > maxFrame {
-			return
-		}
-		if n <= pooledReadLimit {
-			fb := readBufPool.Get().(*frameBuf)
-			frame := fb.b[:n]
-			if _, err := io.ReadFull(conn, frame); err != nil {
-				readBufPool.Put(fb)
-				return
+		if start == end {
+			// Fully drained. Rewind if we are the only holder; parked
+			// frames still viewing this window force a fresh one.
+			if rb.Refs() == 1 {
+				start, end = 0, 0
+			} else {
+				rb.Release()
+				rb = buf.GetSize(readChunk)
+				start, end = 0, 0
 			}
-			e.handle(frame)
-			readBufPool.Put(fb)
-		} else {
-			frame := make([]byte, n)
-			if _, err := io.ReadFull(conn, frame); err != nil {
-				return
+		} else if end == len(rb.B) {
+			// Out of room with a partial frame in hand: compact it to
+			// the front, or — when parked frames pin the window, or the
+			// frame is bigger than the window — carry it into a larger
+			// fresh buffer.
+			need := end - start
+			if n := 4 + frameLen(rb.B[start:end]); n > need {
+				need = n
 			}
-			e.handle(frame)
+			if rb.Refs() == 1 && need <= len(rb.B) {
+				copy(rb.B, rb.B[start:end])
+			} else {
+				size := readChunk
+				if need > size {
+					size = need
+				}
+				nb := buf.GetSize(size)
+				copy(nb.B, rb.B[start:end])
+				rb.Release()
+				rb = nb
+			}
+			end -= start
+			start = 0
+		}
+		n, err := conn.Read(rb.B[end:])
+		if n > 0 {
+			end += n
+			for end-start >= 4 {
+				fn := binary.BigEndian.Uint32(rb.B[start:])
+				if fn == 0 || fn > maxFrame {
+					return
+				}
+				total := 4 + int(fn)
+				if end-start < total {
+					break
+				}
+				if h := e.handler.Load(); h != nil {
+					(*h)(rb, rb.B[start+4:start+total], false)
+				}
+				start += total
+			}
+		}
+		if err != nil {
+			return
 		}
 	}
 }
 
-// Send frames data and queues it to the destination's writer goroutine,
-// dialing synchronously when no live connection exists (so an
-// unreachable destination is still reported to the caller). The data
-// buffer is copied before Send returns.
+// frameLen reads the pending frame's payload length from a partial
+// region (0 when not even the header has arrived yet).
+func frameLen(b []byte) int {
+	if len(b) < 4 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(b))
+}
+
+// Send copies data into a pooled frame and queues it; SendBuf is the
+// zero-copy form.
 func (e *tcpEndpoint) Send(to oa.Element, data []byte) error {
-	hostport, ok := oa.IPHostPort(to)
-	if !ok {
+	fb := buf.Get()
+	fb.B = append(fb.B, data...)
+	err := e.SendBuf(to, fb)
+	fb.Release()
+	return err
+}
+
+// SendBuf queues one frame (the whole of b.B) to a reactor shard of
+// the destination, dialing synchronously when that shard has no live
+// connection (so an unreachable destination is still reported to the
+// caller). The shard's event loop holds its own reference on b until
+// the bytes reach the kernel.
+func (e *tcpEndpoint) SendBuf(to oa.Element, b *buf.Buffer) error {
+	if to.Type != oa.TypeIP {
 		return ErrUnreachable
 	}
-	if len(data) > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(data))
+	if len(b.B) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(b.B))
 	}
 	select {
 	case <-e.done:
 		return ErrClosed
 	default:
 	}
-
-	fb := framePool.Get().(*frameBuf)
-	b := fb.b[:0]
-	b = binary.BigEndian.AppendUint32(b, uint32(len(data)))
-	b = append(b, data...)
-	fb.b = b
-
-	tc := e.connFor(hostport)
+	tc := e.connFor(to)
 	if n := tc.takeDropped(); n > 0 {
 		// A previous writer to this destination died with frames in
 		// hand. Surfacing the loss here (instead of dropping silently)
 		// lets the rt layer treat the destination as unavailable and
-		// retransmit; this frame is sacrificed to deliver the report.
-		putFrame(fb)
-		return fmt.Errorf("%w: %d frame(s) to %s lost on connection failure", ErrUnreachable, n, hostport)
+		// retransmit.
+		return fmt.Errorf("%w: %d frame(s) to %s lost on connection failure", ErrUnreachable, n, tc.hostport)
 	}
+	shard := int(tc.rr.Add(1)) % e.nShards
 	for attempt := 0; attempt < 2; attempt++ {
-		w, err := e.writerFor(tc)
+		w, err := e.writerFor(tc, shard)
 		if err != nil {
-			putFrame(fb)
 			return fmt.Errorf("%w: %v", ErrUnreachable, err)
 		}
+		// Adaptive flush, idle half: when nothing is queued and the
+		// socket is free, write the frame right here on the sender's
+		// goroutine — the syscall happens immediately instead of after
+		// two scheduler handoffs (enqueue, writer wake-up). Under load
+		// the TryLock fails (the event loop is mid-writev) or the queue
+		// is non-empty, and the frame joins the queue to be coalesced
+		// into the loop's next batch. Frames sent directly may overtake
+		// queued frames of other senders, which the transport contract
+		// already permits (reactor shards reorder anyway).
+		if len(w.ch) == 0 && w.wmu.TryLock() {
+			err := w.writeOne(b)
+			w.wmu.Unlock()
+			if err != nil {
+				// The socket died under us mid-frame; the stream may be
+				// truncated, so this generation is done. The frame is
+				// lost and counted, but unlike a queued drop the loss
+				// is reported to THIS send directly, so there is no
+				// deferred next-Send report to file.
+				e.cDropped.Add(1)
+				e.failWriter(tc, w)
+				return fmt.Errorf("%w: %v", ErrUnreachable, err)
+			}
+			return nil
+		}
+		ref := b.Retain()
 		select {
-		case w.ch <- fb:
+		case w.ch <- ref:
 			return nil
 		case <-w.dead:
 			// This generation failed while we held it; dial a fresh one.
+			ref.Release()
 			continue
 		case <-e.done:
-			putFrame(fb)
+			ref.Release()
 			return ErrClosed
 		}
 	}
-	putFrame(fb)
 	return ErrUnreachable
 }
 
-// writerFor returns the destination's live writer, dialing a new
-// connection (and starting its writer goroutine) if none exists.
-func (e *tcpEndpoint) writerFor(tc *tcpConn) (*tcpWriter, error) {
+// writeOne writes a single length-prefixed frame to the current socket;
+// the caller holds wmu.
+func (w *tcpWriter) writeOne(b *buf.Buffer) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b.B)))
+	iov := net.Buffers{hdr[:], b.B}
+	_, err := iov.WriteTo(w.current())
+	return err
+}
+
+// writerFor returns the live writer of one reactor shard, dialing a new
+// connection (and starting its event loop) if none exists.
+func (e *tcpEndpoint) writerFor(tc *tcpConn, shard int) (*tcpWriter, error) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if tc.w != nil {
+	if tc.shards == nil {
+		tc.shards = make([]*tcpWriter, e.nShards)
+	}
+	if w := tc.shards[shard]; w != nil {
 		select {
-		case <-tc.w.dead:
-			tc.w = nil // fell over since the last send
+		case <-w.dead:
+			tc.shards[shard] = nil // fell over since the last send
 		default:
-			return tc.w, nil
+			return w, nil
 		}
 	}
 	conn, err := net.Dial("tcp", tc.hostport)
@@ -341,52 +442,64 @@ func (e *tcpEndpoint) writerFor(tc *tcpConn) (*tcpWriter, error) {
 		return nil, err
 	}
 	w := &tcpWriter{
-		conn: conn,
-		ch:   make(chan *frameBuf, sendQueueDepth),
-		dead: make(chan struct{}),
+		shard: shard,
+		conn:  conn,
+		ch:    make(chan *buf.Buffer, sendQueueDepth),
+		dead:  make(chan struct{}),
 	}
-	tc.w = w
+	tc.shards[shard] = w
 	go e.writeLoop(tc, w)
 	return w, nil
 }
 
-// writeLoop drains one destination's queue: it coalesces up to
-// writerBatch pending frames into a buffered writer, flushes when the
-// queue runs dry or the batch fills, and on a write error redials once
-// and keeps draining (frames caught mid-failure are lost, as the
-// transport contract permits) before declaring the generation dead.
+// writeLoop is one reactor shard's event loop: it gathers whatever is
+// queued (up to writerBatch frames), hands the length headers and
+// payload buffers to the kernel as one writev, and releases the frame
+// references. The gather is adaptive — an empty queue means the frame
+// in hand goes out immediately; a busy queue means one syscall carries
+// many frames. On a write error the loop redials once and keeps
+// draining (frames caught mid-failure are counted and surfaced, never
+// silently lost) before declaring the generation dead.
 func (e *tcpEndpoint) writeLoop(tc *tcpConn, w *tcpWriter) {
-	bw := bufio.NewWriterSize(w.conn, 64<<10)
+	var hdrs [writerBatch][4]byte
+	batch := make([]*buf.Buffer, 0, writerBatch)
+	iov := make(net.Buffers, 0, 2*writerBatch)
 	redialed := false
 	for {
 		select {
 		case fb := <-w.ch:
-			batched := 1
-			err := writeFrame(bw, fb)
-			for err == nil && batched < writerBatch {
+			batch = append(batch[:0], fb)
+		gather:
+			for len(batch) < writerBatch {
 				select {
 				case fb2 := <-w.ch:
-					err = writeFrame(bw, fb2)
-					batched++
-					continue
+					batch = append(batch, fb2)
 				default:
+					break gather
 				}
-				break
 			}
-			if err == nil {
-				err = bw.Flush()
+			iov = iov[:0]
+			for i, b := range batch {
+				binary.BigEndian.PutUint32(hdrs[i][:], uint32(len(b.B)))
+				iov = append(iov, hdrs[i][:], b.B)
+			}
+			v := iov // WriteTo consumes its receiver; keep iov's backing array
+			w.wmu.Lock()
+			_, err := v.WriteTo(w.current())
+			w.wmu.Unlock()
+			for _, b := range batch {
+				b.Release()
 			}
 			if err != nil {
 				// The batch's frames were consumed and may not have
-				// reached the peer (the buffered writer died mid-batch):
-				// account them as dropped — TCP gives no delivery
-				// receipt, and an undercounted loss is a silent one.
-				e.noteDropped(tc, uint64(batched))
+				// reached the peer (the socket died mid-writev): account
+				// them as dropped — TCP gives no delivery receipt, and an
+				// undercounted loss is a silent one.
+				e.noteDropped(tc, uint64(len(batch)))
 				if !redialed {
 					redialed = true
 					if conn, derr := net.Dial("tcp", tc.hostport); derr == nil {
 						w.swapConn(conn)
-						bw = bufio.NewWriterSize(conn, 64<<10)
 						continue // keep draining on the fresh socket
 					}
 				}
@@ -394,8 +507,12 @@ func (e *tcpEndpoint) writeLoop(tc *tcpConn, w *tcpWriter) {
 				return
 			}
 			redialed = false
+		case <-w.dead:
+			// Another goroutine (a failed direct write) retired this
+			// generation; drain what was queued so the loss is counted.
+			e.failWriter(tc, w)
+			return
 		case <-e.done:
-			bw.Flush()
 			w.closeConn()
 			w.kill()
 			return
@@ -403,22 +520,15 @@ func (e *tcpEndpoint) writeLoop(tc *tcpConn, w *tcpWriter) {
 	}
 }
 
-// writeFrame copies one frame into the buffered writer and recycles it.
-func writeFrame(bw *bufio.Writer, fb *frameBuf) error {
-	_, err := bw.Write(fb.b)
-	putFrame(fb)
-	return err
-}
-
-// failWriter retires a dead connection generation: unhooks it so the
-// next Send redials, closes the socket, and drains queued frames. The
+// failWriter retires a dead shard generation: unhooks it so the next
+// Send redials, closes the socket, and drains queued frames. The
 // drained frames cannot be delivered, but the loss is NOT silent: each
 // is counted in net/tcp_dropped and reported to the destination's next
 // Send as an error, so callers learn the channel lost traffic.
 func (e *tcpEndpoint) failWriter(tc *tcpConn, w *tcpWriter) {
 	tc.mu.Lock()
-	if tc.w == w {
-		tc.w = nil
+	if tc.shards != nil && tc.shards[w.shard] == w {
+		tc.shards[w.shard] = nil
 	}
 	tc.mu.Unlock()
 	w.kill()
@@ -427,7 +537,7 @@ func (e *tcpEndpoint) failWriter(tc *tcpConn, w *tcpWriter) {
 	for {
 		select {
 		case fb := <-w.ch:
-			putFrame(fb)
+			fb.Release()
 			lost++
 		default:
 			e.noteDropped(tc, lost)
@@ -436,15 +546,13 @@ func (e *tcpEndpoint) failWriter(tc *tcpConn, w *tcpWriter) {
 	}
 }
 
-func (e *tcpEndpoint) connFor(hostport string) *tcpConn {
-	e.cmu.Lock()
-	defer e.cmu.Unlock()
-	tc, ok := e.conns[hostport]
-	if !ok {
-		tc = &tcpConn{hostport: hostport}
-		e.conns[hostport] = tc
+func (e *tcpEndpoint) connFor(to oa.Element) *tcpConn {
+	if v, ok := e.conns.Load(to); ok {
+		return v.(*tcpConn)
 	}
-	return tc
+	hostport, _ := oa.IPHostPort(to) // to.Type checked by the caller
+	v, _ := e.conns.LoadOrStore(to, &tcpConn{hostport: hostport})
+	return v.(*tcpConn)
 }
 
 func (e *tcpEndpoint) Close() error {
@@ -456,17 +564,19 @@ func (e *tcpEndpoint) Close() error {
 			conn.Close()
 		}
 		e.amu.Unlock()
-		e.cmu.Lock()
-		for _, tc := range e.conns {
+		e.conns.Range(func(_, v any) bool {
+			tc := v.(*tcpConn)
 			tc.mu.Lock()
-			if tc.w != nil {
-				tc.w.kill()
-				tc.w.closeConn()
-				tc.w = nil
+			for i, w := range tc.shards {
+				if w != nil {
+					w.kill()
+					w.closeConn()
+					tc.shards[i] = nil
+				}
 			}
 			tc.mu.Unlock()
-		}
-		e.cmu.Unlock()
+			return true
+		})
 	})
 	return nil
 }

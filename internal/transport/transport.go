@@ -15,6 +15,7 @@ package transport
 import (
 	"errors"
 
+	"repro/internal/buf"
 	"repro/internal/oa"
 )
 
@@ -34,19 +35,45 @@ var ErrClosed = errors.New("transport: closed")
 // structure, as wire.Unmarshal does, counts).
 type Handler func(data []byte)
 
+// FrameHandler is the zero-copy message consumer. data is the frame
+// payload, a view into b — a reference-counted buffer the transport
+// holds one reference on for the duration of the call. A handler that
+// needs the bytes past its return takes its own reference (b.Retain)
+// and releases it when done; no copy is required.
+//
+// sync reports that the delivery runs synchronously on the sender's
+// goroutine (the mem transport's zero-latency path): the sender is
+// blocked until the handler returns, so the handler may run the method
+// inline without stalling unrelated traffic. When sync is false the
+// handler runs on a shared transport goroutine (a TCP read loop, a
+// delivery pump) and must hand long work off to a mailbox.
+type FrameHandler func(b *buf.Buffer, data []byte, sync bool)
+
 // Endpoint is a send/receive port with a transport-level address.
 type Endpoint interface {
 	// Element is the Object Address Element other endpoints use to
 	// reach this one.
 	Element() oa.Element
-	// SetHandler installs the message consumer. It must be called
+	// SetHandler installs a copy-contract message consumer (see
+	// Handler). One of SetHandler/SetFrameHandler must be called
 	// before any message is sent to the endpoint.
 	SetHandler(Handler)
+	// SetFrameHandler installs the zero-copy consumer; it supersedes
+	// any Handler installed via SetHandler.
+	SetFrameHandler(FrameHandler)
 	// Send delivers data to the endpoint named by to. Delivery is
 	// asynchronous and unordered with respect to other sends; an error
 	// is returned only for local or addressing failures — silent loss
-	// in transit is possible, as on a real network.
+	// in transit is possible, as on a real network. The data buffer is
+	// not referenced after Send returns.
 	Send(to oa.Element, data []byte) error
+	// SendBuf delivers the contents of b (one whole frame in b.B) to
+	// the endpoint named by to without copying: the transport takes its
+	// own reference on b for as long as it needs the bytes. The caller
+	// keeps its reference and must treat b.B as immutable from the
+	// first SendBuf until its own Release — the same buffer may be
+	// in flight to several destinations at once.
+	SendBuf(to oa.Element, b *buf.Buffer) error
 	// Close tears the endpoint down; subsequent sends to it fail with
 	// ErrUnreachable.
 	Close() error

@@ -140,10 +140,11 @@ type Message struct {
 const (
 	magic = 0x4C47 // "LG"
 	// version is what we emit. v2 added Env.Deadline; v3 added the
-	// trace triple (TraceID/SpanID/ParentSpanID). The decoder accepts
-	// both v2 and v3 frames: a v2 frame simply has no trace fields, so
-	// they decode as zero ("not traced").
-	version   = 3
+	// trace triple (TraceID/SpanID/ParentSpanID); v4 moved to the
+	// fixed-offset zero-copy layout (see frame.go). The decoder accepts
+	// v2 and v3 frames alongside v4: a v2 frame simply has no trace
+	// fields, so they decode as zero ("not traced").
+	version   = 4
 	oldestVer = 2
 )
 
@@ -201,6 +202,10 @@ func (m *Message) AppendMarshal(dst []byte) []byte {
 // the current version is emitted in production; tests use older
 // versions to pin decoder compatibility.
 func (m *Message) appendMarshal(dst []byte, ver byte) []byte {
+	if ver >= 4 {
+		return appendV4(dst, m.Kind, m.ID, m.Code, m.Target, m.Method,
+			&m.Env, m.ReplyTo, m.ErrText, m.Args)
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint16(hdr[0:2], magic)
 	hdr[2] = ver
@@ -230,96 +235,24 @@ func (m *Message) appendMarshal(dst []byte, ver byte) []byte {
 }
 
 // Unmarshal decodes one message from src; the whole of src must be the
-// message (transports frame messages themselves).
+// message (transports frame messages themselves). It is the eager,
+// copy-everything decode built on the lazy Frame parser — callers that
+// only need a few fields use Frame directly.
 func Unmarshal(src []byte) (*Message, error) {
-	if len(src) < 4 {
-		return nil, fmt.Errorf("wire: short header")
+	var f Frame
+	if err := f.Parse(src); err != nil {
+		return nil, err
 	}
-	if binary.BigEndian.Uint16(src[0:2]) != magic {
-		return nil, fmt.Errorf("wire: bad magic %#x", src[0:2])
-	}
-	ver := src[2]
-	if ver < oldestVer || ver > version {
-		return nil, fmt.Errorf("wire: unsupported version %d", ver)
-	}
-	m := &Message{Kind: Kind(src[3])}
-	src = src[4:]
-	if len(src) < 8 {
-		return nil, fmt.Errorf("wire: short id")
-	}
-	m.ID = binary.BigEndian.Uint64(src[:8])
-	src = src[8:]
-	var err error
-	if m.Target, src, err = loid.Unmarshal(src); err != nil {
-		return nil, fmt.Errorf("wire: target: %w", err)
-	}
-	if m.Method, src, err = takeString(src); err != nil {
-		return nil, fmt.Errorf("wire: method: %w", err)
-	}
-	if m.Env.Responsible, src, err = loid.Unmarshal(src); err != nil {
-		return nil, fmt.Errorf("wire: env: %w", err)
-	}
-	if m.Env.Security, src, err = loid.Unmarshal(src); err != nil {
-		return nil, fmt.Errorf("wire: env: %w", err)
-	}
-	if m.Env.Calling, src, err = loid.Unmarshal(src); err != nil {
-		return nil, fmt.Errorf("wire: env: %w", err)
-	}
-	if len(src) < 8 {
-		return nil, fmt.Errorf("wire: short deadline")
-	}
-	m.Env.Deadline = int64(binary.BigEndian.Uint64(src[:8]))
-	src = src[8:]
-	if ver >= 3 {
-		if len(src) < 24 {
-			return nil, fmt.Errorf("wire: short trace ids")
-		}
-		m.Env.TraceID = binary.BigEndian.Uint64(src[:8])
-		m.Env.SpanID = binary.BigEndian.Uint64(src[8:16])
-		m.Env.ParentSpanID = binary.BigEndian.Uint64(src[16:24])
-		src = src[24:]
-	}
-	if m.ReplyTo, src, err = oa.Unmarshal(src); err != nil {
-		return nil, fmt.Errorf("wire: reply-to: %w", err)
-	}
-	if len(src) < 2 {
-		return nil, fmt.Errorf("wire: short code")
-	}
-	m.Code = Code(binary.BigEndian.Uint16(src[:2]))
-	src = src[2:]
-	if m.ErrText, src, err = takeString(src); err != nil {
-		return nil, fmt.Errorf("wire: err-text: %w", err)
-	}
-	if len(src) < 4 {
-		return nil, fmt.Errorf("wire: short arg count")
-	}
-	nargs := binary.BigEndian.Uint32(src[:4])
-	src = src[4:]
-	if nargs > maxArgs {
-		return nil, fmt.Errorf("wire: arg count %d exceeds limit", nargs)
-	}
-	if nargs > 0 {
-		m.Args = make([][]byte, 0, nargs)
-		for i := uint32(0); i < nargs; i++ {
-			if len(src) < 4 {
-				return nil, fmt.Errorf("wire: short arg %d length", i)
-			}
-			n := binary.BigEndian.Uint32(src[:4])
-			src = src[4:]
-			if n > maxArgLen {
-				return nil, fmt.Errorf("wire: arg %d length %d exceeds limit", i, n)
-			}
-			if uint32(len(src)) < n {
-				return nil, fmt.Errorf("wire: short arg %d body: have %d want %d", i, len(src), n)
-			}
-			arg := make([]byte, n)
-			copy(arg, src[:n])
-			m.Args = append(m.Args, arg)
-			src = src[n:]
-		}
-	}
-	if len(src) != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes", len(src))
+	m := &Message{
+		Kind:    f.Kind,
+		ID:      f.ID,
+		Target:  f.Target(),
+		Method:  string(f.MethodBytes()),
+		Env:     f.Env(),
+		ReplyTo: f.ReplyToAddress(),
+		Code:    f.Code,
+		ErrText: f.ErrText(),
+		Args:    f.CopyArgs(),
 	}
 	return m, nil
 }
