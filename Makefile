@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test
+.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test migrate-test
 
 all: check
 
@@ -19,7 +19,7 @@ test:
 # dispatch vs failover) are the ones worth paying the race detector for.
 race:
 	$(GO) test -race ./internal/binding ./internal/rt ./internal/transport \
-		./internal/persist ./internal/magistrate
+		./internal/persist ./internal/magistrate ./internal/sched ./internal/host
 
 # Crash-recovery smoke: the chaos/recovery tests and a quick E18 run
 # (host failover, churn with checkpoints, full -data-dir restart).
@@ -27,6 +27,15 @@ crash-test:
 	$(GO) test -race ./internal/persist ./internal/magistrate
 	$(GO) test -race -run 'TestCrash|TestRestart|TestHealthDetector' ./internal/core ./internal/sim
 	$(GO) run ./cmd/legion-bench -quick -run E18
+
+# Live-migration gauntlet: the FIFO storm (both transports, leak
+# tracking on), the magistrate migration/rebalance tests, and a quick
+# E19 run (crash injection at every phase boundary + rebalancer).
+migrate-test:
+	$(GO) test -race -run 'TestMigrationStormFIFO|TestStaleBindingRefreshAfterMigration' ./internal/rt
+	$(GO) test -race -tags buftrack -run TestMigrationStormFIFO ./internal/rt
+	$(GO) test -race ./internal/sched ./internal/host ./internal/magistrate
+	$(GO) run ./cmd/legion-bench -quick -run E19
 
 # All microbenchmarks, with allocation counts. The invocation fast
 # path (E1 binding + the ParallelInvoke suite) is additionally written

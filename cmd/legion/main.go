@@ -12,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/class"
 	"repro/internal/core"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/loid"
 	"repro/internal/magistrate"
 	"repro/internal/rt"
+	"repro/internal/sched"
 	"repro/internal/wire"
 )
 
@@ -76,6 +79,9 @@ commands:
   deactivate MAG-IDX LOID         deactivate through jurisdiction MAG-IDX
   move MAG-IDX LOID DST-MAG-IDX   migrate between jurisdictions
   magistrate MAG-IDX              list a jurisdiction's objects and hosts
+  migrate MAG-IDX LOID HOST-LOID  live-migrate to another host, zero failed calls
+  loads MAG-IDX                   print the jurisdiction's host load vectors
+  rebalance MAG-IDX [ROUNDS]      run the load rebalancer (default: until interrupted)
 `)
 }
 
@@ -285,6 +291,71 @@ func dispatch(ni *core.NetInfo, cli *rt.Caller, args []string) error {
 			fmt.Printf(" %v", o)
 		}
 		fmt.Println()
+		return nil
+	case "migrate":
+		mc, err := magClient(ni, cli, rest, 0)
+		if err != nil {
+			return err
+		}
+		obj, err := parseLOID(rest, 1)
+		if err != nil {
+			return err
+		}
+		h, err := parseLOID(rest, 2)
+		if err != nil {
+			return err
+		}
+		if err := mc.Migrate(context.Background(), obj, h); err != nil {
+			return err
+		}
+		fmt.Printf("migrated %v to %v\n", obj, h)
+		return nil
+	case "loads":
+		mc, err := magClient(ni, cli, rest, 0)
+		if err != nil {
+			return err
+		}
+		loads, err := mc.GetLoads()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %9s %7s %9s %7s %8s\n", "host", "residents", "depth", "disp/s", "score", "report")
+		for _, hl := range loads {
+			age := "never"
+			if hl.Age >= 0 {
+				age = hl.Age.Truncate(time.Millisecond).String() + " ago"
+			}
+			fmt.Printf("%-16v %9d %7d %9d %7.2f %8s\n", hl.Host,
+				hl.Load.Residents, hl.Load.MailboxDepth, hl.Load.DispatchRate,
+				hl.Load.Score(), age)
+		}
+		return nil
+	case "rebalance":
+		mc, err := magClient(ni, cli, rest, 0)
+		if err != nil {
+			return err
+		}
+		rounds := 0 // 0 = run forever
+		if len(rest) > 1 {
+			if rounds, err = strconv.Atoi(rest[1]); err != nil || rounds < 1 {
+				return fmt.Errorf("bad round count %q", rest[1])
+			}
+		}
+		rb := sched.NewRebalancer(mc, nil)
+		fmt.Printf("rebalancing jurisdiction %v (hot > %.1fx mean for %d rounds moves <= %d objects/round)\n",
+			mc.Magistrate(), rb.HotFactor, rb.SustainRounds, rb.MaxMovesPerRound)
+		for i := 0; rounds == 0 || i < rounds; i++ {
+			moved, err := rb.RoundNow(context.Background())
+			if err != nil {
+				return err
+			}
+			if moved > 0 {
+				fmt.Printf("round %d: moved %d object(s)\n", i+1, moved)
+			}
+			if rounds == 0 || i+1 < rounds {
+				time.Sleep(rb.Interval)
+			}
+		}
 		return nil
 	default:
 		usage()

@@ -46,6 +46,7 @@ func main() {
 	vault := flag.String("vault", "", "core: directory for on-disk jurisdiction storage (default: in-memory)")
 	dataDir := flag.String("data-dir", "", "core: durable home for the whole system — OPRs, checkpoints, and tables persist here across daemon restarts")
 	ckptEvery := flag.Duration("checkpoint", 0, "checkpoint residents' state this often (0 disables; core and host modes)")
+	loadReport := flag.Duration("load-report", 0, "report host load vectors to the Magistrate this often — feeds load-aware placement and /debug/placements (0 disables; core and host modes)")
 	syncOPRs := flag.Bool("sync", false, "core: fsync every persistent-representation write")
 	debugAddr := flag.String("debug-addr", "", "serve the observability surface (metrics, traces, health, pprof) on this address; empty disables it")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "trace one invocation in N (1 = every invocation); effective with -debug-addr")
@@ -68,6 +69,7 @@ func main() {
 			DataDir:              *dataDir,
 			SyncOPRs:             *syncOPRs,
 			CheckpointEvery:      *ckptEvery,
+			LoadReportEvery:      *loadReport,
 		}
 		if *dataDir != "" && *ckptEvery == 0 {
 			// A durable system should checkpoint by default; otherwise a
@@ -79,6 +81,10 @@ func main() {
 			// and a shared health tracker so it has something to show.
 			opts.Tracer = trace.New(trace.Config{SampleEvery: *traceSample})
 			opts.Health = health.NewTracker(health.Config{}, opts.Registry)
+			if opts.LoadReportEvery == 0 {
+				// /debug/placements is dead air without load reports.
+				opts.LoadReportEvery = time.Second
+			}
 		}
 		sys, err := core.Boot(opts)
 		if err != nil {
@@ -87,9 +93,10 @@ func main() {
 		defer sys.Close()
 		if *debugAddr != "" {
 			bound, stopDebug, err := debughttp.Serve(*debugAddr, debughttp.Options{
-				Registry: opts.Registry,
-				Tracer:   opts.Tracer,
-				Health:   opts.Health,
+				Registry:   opts.Registry,
+				Tracer:     opts.Tracer,
+				Health:     opts.Health,
+				Placements: placementsView(sys),
 			})
 			if err != nil {
 				log.Fatalf("legiond: debug listener: %v", err)
@@ -131,6 +138,7 @@ func main() {
 			log.Fatalf("legiond: attach: %v", err)
 		}
 		remote.CheckpointEvery = *ckptEvery
+		remote.LoadReportEvery = *loadReport
 		defer remote.Close()
 		joined, err := remote.JoinHost(*seq, impls, *magIdx)
 		if err != nil {
@@ -141,6 +149,42 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "legiond: unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+}
+
+// placementsView adapts the in-process Magistrates' load and placement
+// tables into the debug surface's transport-free row types.
+func placementsView(sys *core.System) func() []debughttp.PlacementView {
+	return func() []debughttp.PlacementView {
+		views := make([]debughttp.PlacementView, 0, len(sys.Jurisdictions))
+		for _, j := range sys.Jurisdictions {
+			v := debughttp.PlacementView{Jurisdiction: j.Magistrate.String()}
+			for _, hl := range j.MagistrateImpl().Loads() {
+				v.Hosts = append(v.Hosts, debughttp.PlacementHost{
+					Host:         hl.Host.String(),
+					Residents:    int(hl.Load.Residents),
+					MailboxDepth: int(hl.Load.MailboxDepth),
+					DispatchRate: float64(hl.Load.DispatchRate),
+					CkptDirty:    int(hl.Load.CkptDirty),
+					Score:        hl.Load.Score(),
+					Age:          hl.Age,
+				})
+			}
+			for _, p := range j.MagistrateImpl().Placements() {
+				host := ""
+				if p.Active {
+					host = p.Host.String()
+				}
+				v.Objects = append(v.Objects, debughttp.PlacementObject{
+					Object: p.Object.String(),
+					Impl:   p.Impl,
+					Host:   host,
+					Active: p.Active,
+				})
+			}
+			views = append(views, v)
+		}
+		return views
 	}
 }
 

@@ -84,6 +84,13 @@ type Options struct {
 	// Magistrate, so a host crash loses at most one interval of work.
 	// Zero disables checkpointing (idle objects then cost nothing).
 	CheckpointEvery time.Duration
+	// LoadReportEvery, when > 0, starts the load-vector heartbeat on
+	// every Host Object: each interval, the host pushes its resident
+	// count, mailbox backlog, dispatch rate, and checkpoint pressure to
+	// its Magistrate, feeding load-aware placement and the rebalancer.
+	// Zero disables reporting (placement then uses resident counts
+	// alone).
+	LoadReportEvery time.Duration
 	// Tracer, if set, is installed on every node Boot creates, so each
 	// hop of the binding/invocation chain records spans into it. Nil
 	// disables tracing (the hot path pays one atomic load).
@@ -471,6 +478,11 @@ func (s *System) bootstrap() error {
 				hobj.StartCheckpointer(ml, node.Address(), s.Options.CheckpointEvery)
 			}
 		}
+		if s.Options.LoadReportEvery > 0 {
+			for _, hobj := range juris.hostImpls {
+				hobj.StartLoadReporter(ml, node.Address(), s.Options.LoadReportEvery)
+			}
+		}
 		s.Jurisdictions = append(s.Jurisdictions, juris)
 		allMags = append(allMags, ml)
 	}
@@ -626,6 +638,19 @@ func (s *System) FindObject(l loid.LOID) (*rt.Object, bool) {
 	return nil, false
 }
 
+// CountIncarnations reports how many of the system's nodes currently
+// run a live copy of l — the exactly-once invariant checker for
+// migration and failover tests (a correct system never shows 2).
+func (s *System) CountIncarnations(l loid.LOID) int {
+	n := 0
+	for _, nd := range s.nodes {
+		if _, ok := nd.Lookup(l); ok {
+			n++
+		}
+	}
+	return n
+}
+
 // Close tears the system down.
 func (s *System) Close() {
 	if s.closed {
@@ -635,6 +660,7 @@ func (s *System) Close() {
 	for _, j := range s.Jurisdictions {
 		for _, h := range j.hostImpls {
 			h.StopCheckpointer()
+			h.StopLoadReporter()
 		}
 	}
 	for _, n := range s.nodes {

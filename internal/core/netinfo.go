@@ -116,6 +116,10 @@ type Remote struct {
 	// Magistrate's store, so losing this process loses at most one
 	// interval of work.
 	CheckpointEvery time.Duration
+	// LoadReportEvery, when > 0, starts a load-vector heartbeat on every
+	// host this process joins, feeding the owning Magistrate's placement
+	// and rebalancing decisions.
+	LoadReportEvery time.Duration
 
 	leafLOID loid.LOID
 	leafAddr oa.Address
@@ -204,6 +208,9 @@ func (r *Remote) JoinHost(seq uint64, impls *implreg.Registry, magistrateIdx int
 	if r.CheckpointEvery > 0 {
 		h.StartCheckpointer(magL, magAddr, r.CheckpointEvery)
 	}
+	if r.LoadReportEvery > 0 {
+		h.StartLoadReporter(magL, magAddr, r.LoadReportEvery)
+	}
 	r.joined = append(r.joined, h)
 	return &JoinedHost{Host: h, LOID: hl, Node: node}, nil
 }
@@ -213,6 +220,7 @@ func (r *Remote) JoinHost(seq uint64, impls *implreg.Registry, magistrateIdx int
 func (r *Remote) Close() {
 	for _, h := range r.joined {
 		h.StopCheckpointer()
+		h.StopLoadReporter()
 	}
 	for _, n := range r.nodes {
 		n.Close()

@@ -31,7 +31,7 @@ func registerSchedImpls(impls *implreg.Registry) {
 		return sched.NewAgent(sched.NewRandom(1))
 	})
 	impls.MustRegisterConcurrent(SchedLeastLoadedImpl, func() rt.Impl {
-		return sched.NewAgent(sched.LeastLoaded{})
+		return sched.NewAgent(sched.NewLeastLoaded())
 	})
 }
 

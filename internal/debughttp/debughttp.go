@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/health"
 	"repro/internal/metrics"
@@ -35,6 +36,42 @@ type Options struct {
 	Tracer *trace.Tracer
 	// Health supplies /debug/health (breaker states, EWMA latency).
 	Health *health.Tracker
+	// Placements supplies /debug/placements. The callback is invoked
+	// per scrape; it should snapshot the Magistrates' placement and
+	// load tables. Nil disables the endpoint (host-only processes have
+	// no placement authority to show).
+	Placements func() []PlacementView
+}
+
+// PlacementHost is one host row of a jurisdiction's placement view:
+// the load vector the Magistrate last heard, plus its derived score.
+type PlacementHost struct {
+	Host         string
+	Residents    int
+	MailboxDepth int
+	DispatchRate float64 // dispatches/sec
+	CkptDirty    int
+	Score        float64
+	// Age is the time since the host's last load report; negative when
+	// the host has never reported (placement falls back to residency
+	// counts alone).
+	Age time.Duration
+}
+
+// PlacementObject is one object row: where the Magistrate's table
+// places it right now.
+type PlacementObject struct {
+	Object string
+	Impl   string
+	Host   string
+	Active bool
+}
+
+// PlacementView is one jurisdiction's placement table.
+type PlacementView struct {
+	Jurisdiction string
+	Hosts        []PlacementHost
+	Objects      []PlacementObject
 }
 
 // Handler builds the debug mux:
@@ -44,6 +81,7 @@ type Options struct {
 //	/debug/traces   — recent trace IDs; ?id=<hex> for one trace's hop
 //	                  timeline, &format=chrome for trace-event JSON
 //	/debug/health   — per-endpoint breaker state
+//	/debug/placements — per-jurisdiction host loads and object placements
 //	/debug/pprof/   — stdlib profiles
 //	/debug/vars     — expvar JSON
 func Handler(opts Options) http.Handler {
@@ -57,6 +95,7 @@ func Handler(opts Options) http.Handler {
 			"/metrics        Prometheus text metrics\n"+
 			"/debug/traces   recent traces (?id=<hex>&format=chrome)\n"+
 			"/debug/health   circuit-breaker state per endpoint\n"+
+			"/debug/placements  host load vectors and object placements\n"+
 			"/debug/pprof/   runtime profiles\n"+
 			"/debug/vars     expvar JSON\n")
 	})
@@ -69,6 +108,9 @@ func Handler(opts Options) http.Handler {
 	})
 	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
 		serveHealth(w, opts.Health)
+	})
+	mux.HandleFunc("/debug/placements", func(w http.ResponseWriter, r *http.Request) {
+		servePlacements(w, opts.Placements)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -182,6 +224,44 @@ func serveTraces(w http.ResponseWriter, r *http.Request, tr *trace.Tracer) {
 		return
 	}
 	fmt.Fprintln(w, trace.Timeline(spans))
+}
+
+func servePlacements(w http.ResponseWriter, fn func() []PlacementView) {
+	if fn == nil {
+		fmt.Fprintln(w, "no placement source installed (host-only process?)")
+		return
+	}
+	views := fn()
+	if len(views) == 0 {
+		fmt.Fprintln(w, "no jurisdictions")
+		return
+	}
+	for vi, v := range views {
+		if vi > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "jurisdiction %s — %d hosts, %d objects\n\n",
+			v.Jurisdiction, len(v.Hosts), len(v.Objects))
+		fmt.Fprintf(w, "  %-24s %9s %7s %9s %6s %7s %8s\n",
+			"host", "residents", "depth", "disp/s", "dirty", "score", "report")
+		for _, h := range v.Hosts {
+			age := "never"
+			if h.Age >= 0 {
+				age = h.Age.Truncate(time.Millisecond).String() + " ago"
+			}
+			fmt.Fprintf(w, "  %-24s %9d %7d %9.1f %6d %7.2f %8s\n",
+				h.Host, h.Residents, h.MailboxDepth, h.DispatchRate,
+				h.CkptDirty, h.Score, age)
+		}
+		fmt.Fprintln(w)
+		for _, o := range v.Objects {
+			state := "inert"
+			if o.Active {
+				state = "active"
+			}
+			fmt.Fprintf(w, "  %-24s %-16s %-7s %s\n", o.Object, o.Impl, state, o.Host)
+		}
+	}
 }
 
 func serveHealth(w http.ResponseWriter, tr *health.Tracker) {

@@ -164,6 +164,35 @@ func TestHealthEndpoint(t *testing.T) {
 	}
 }
 
+func TestPlacementsEndpoint(t *testing.T) {
+	code, body := get(t, Handler(Options{}), "/debug/placements")
+	if code != 200 || !strings.Contains(body, "no placement source") {
+		t.Errorf("nil source: %d %q", code, body)
+	}
+	views := func() []PlacementView {
+		return []PlacementView{{
+			Jurisdiction: "L6.1",
+			Hosts: []PlacementHost{
+				{Host: "L7.1", Residents: 3, MailboxDepth: 2, DispatchRate: 41, Score: 3.7, Age: 120 * time.Millisecond},
+				{Host: "L7.2", Residents: 0, Age: -1},
+			},
+			Objects: []PlacementObject{
+				{Object: "L256.1", Impl: "demo.counter", Host: "L7.1", Active: true},
+				{Object: "L256.2", Impl: "demo.counter", Active: false},
+			},
+		}}
+	}
+	code, body = get(t, Handler(Options{Placements: views}), "/debug/placements")
+	if code != 200 {
+		t.Fatalf("/debug/placements status = %d", code)
+	}
+	for _, want := range []string{"jurisdiction L6.1", "L7.1", "never", "ago", "demo.counter", "active", "inert"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("placements body missing %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestPprofAndVars(t *testing.T) {
 	h := Handler(Options{})
 	if code, body := get(t, h, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {

@@ -43,6 +43,11 @@ func RunE13(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The disturbance needs reactivation to *move* the object: the
+		// load-aware default would put it right back on the host it
+		// left (its slot is now the emptiest), and no binding would
+		// ever go stale. Oblivious rotation restores the churn.
+		s.Sys.Jurisdictions[0].MagistrateImpl().SetObliviousPlacement(true)
 		cl := s.Classes[0]
 		if subscribed {
 			for _, leaf := range s.Sys.Leaves {

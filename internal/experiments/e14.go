@@ -37,6 +37,11 @@ func RunE14(scale Scale) (*Table, error) {
 		}
 		cl := s.Classes[0]
 		juris := s.Sys.Jurisdictions[0]
+		// The baseline is the *oblivious* magistrate of the ablation:
+		// rotate blindly, see nothing. (The production default is now
+		// load-aware — which is itself the policy the agent arm used to
+		// demonstrate — so the contrast needs the knob.)
+		juris.MagistrateImpl().SetObliviousPlacement(true)
 		if policy == "least-loaded agent" {
 			agent, err := s.Sys.NewSchedulingAgent(core.SchedLeastLoadedImpl)
 			if err != nil {

@@ -107,6 +107,7 @@ func All() []Runner {
 		{"E16", "fault-churn", RunE16},
 		{"E17", "trace-attribution", RunE17},
 		{"E18", "crash-recovery", RunE18},
+		{"E19", "live-migration", RunE19},
 	}
 }
 

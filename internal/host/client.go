@@ -132,6 +132,59 @@ func (cl *Client) GetState() (State, error) {
 	return st, nil
 }
 
+// GetLoad fetches the host's full load vector.
+func (cl *Client) GetLoad() (Load, error) {
+	res, err := cl.c.Call(cl.host, "GetLoad")
+	if err != nil {
+		return Load{}, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return Load{}, err
+	}
+	return UnmarshalLoad(raw)
+}
+
+// PrepareMigrate drains l to a quiesce point (arrivals parked) and
+// returns its saved state and impl name, leaving the object gated on
+// the source. The caller must follow with FinishMigrate or
+// AbortMigrate.
+func (cl *Client) PrepareMigrate(ctx context.Context, l loid.LOID) (state []byte, impl string, err error) {
+	res, err := cl.c.CallCtx(ctx, cl.host, "PrepareMigrate", wire.LOID(l))
+	if err != nil {
+		return nil, "", err
+	}
+	if state, err = res.Result(0); err != nil {
+		return nil, "", err
+	}
+	rawImpl, err := res.Result(1)
+	if err != nil {
+		return nil, "", err
+	}
+	return state, wire.AsString(rawImpl), nil
+}
+
+// AbortMigrate reopens a prepared object on the source: parked calls
+// replay locally in arrival order.
+func (cl *Client) AbortMigrate(ctx context.Context, l loid.LOID) error {
+	res, err := cl.c.CallCtx(ctx, cl.host, "AbortMigrate", wire.LOID(l))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// FinishMigrate commits a migration on the source: the local
+// incarnation dies and parked plus late-arriving calls forward one hop
+// to newAddr.
+func (cl *Client) FinishMigrate(ctx context.Context, l loid.LOID, newAddr oa.Address) error {
+	res, err := cl.c.CallCtx(ctx, cl.host, "FinishMigrate", wire.LOID(l), wire.Address(newAddr))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
 // SetCPULoad sets the host's concurrent-object capacity (0 removes the
 // limit).
 func (cl *Client) SetCPULoad(limit uint64) error {

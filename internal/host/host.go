@@ -50,6 +50,18 @@ var Interface = idl.NewInterface("LegionHost",
 		Params: []idl.Param{{Name: "limit", Type: idl.TUint64}}},
 	idl.MethodSig{Name: "SetMemoryUsage",
 		Params: []idl.Param{{Name: "limit", Type: idl.TUint64}}},
+	idl.MethodSig{Name: "GetLoad",
+		Returns: []idl.Param{{Name: "load", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "PrepareMigrate",
+		Params:  []idl.Param{{Name: "object", Type: idl.TLOID}},
+		Returns: []idl.Param{{Name: "state", Type: idl.TBytes}, {Name: "impl", Type: idl.TString}}},
+	idl.MethodSig{Name: "AbortMigrate",
+		Params: []idl.Param{{Name: "object", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "FinishMigrate",
+		Params: []idl.Param{
+			{Name: "object", Type: idl.TLOID},
+			{Name: "newAddr", Type: idl.TAddress},
+		}},
 )
 
 // ServiceConcurrency is the number of dispatch workers given to
@@ -75,6 +87,9 @@ type Host struct {
 	memLimit uint64               // advisory memory budget, reported via GetState
 	obj      *rt.Object
 	ckpt     *checkpointer // periodic durability loop; nil when off
+	loadRep  *loadReporter // heartbeat load reports; nil when off
+
+	meter loadMeter // dispatch-rate sampling for the load vector
 }
 
 // New builds a Host Object for node. impls is the implementation
@@ -156,6 +171,14 @@ func (h *Host) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		h.memLimit = v
 		h.mu.Unlock()
 		return nil, nil
+	case "GetLoad":
+		return [][]byte{h.LoadNow().Marshal()}, nil
+	case "PrepareMigrate":
+		return h.prepareMigrate(inv)
+	case "AbortMigrate":
+		return h.abortMigrate(inv)
+	case "FinishMigrate":
+		return h.finishMigrate(inv)
 	}
 	return nil, &rt.NoSuchMethodError{Method: inv.Method}
 }
@@ -234,6 +257,9 @@ func (h *Host) stopObject(inv *rt.Invocation) ([][]byte, error) {
 		return nil, fmt.Errorf("host %v: save %v: %w", h.self, l, err)
 	}
 	h.node.Kill(l)
+	// A pending migration drain gate must not outlive the object:
+	// bounce its parked frames back to their callers' retry loops.
+	h.node.Unpark(l)
 	h.mu.Lock()
 	delete(h.running, l.ID())
 	h.mu.Unlock()
@@ -246,6 +272,7 @@ func (h *Host) killObject(inv *rt.Invocation) ([][]byte, error) {
 		return nil, err
 	}
 	h.node.Kill(l)
+	h.node.Unpark(l)
 	h.mu.Lock()
 	delete(h.running, l.ID())
 	h.mu.Unlock()

@@ -224,3 +224,40 @@ func (cl *Client) ListSubMagistrates() ([]loid.LOID, error) {
 	}
 	return wire.AsLOIDList(raw)
 }
+
+// Migrate live-migrates l to destHost without failing in-flight or
+// concurrent calls.
+func (cl *Client) Migrate(ctx context.Context, l, destHost loid.LOID) error {
+	res, err := cl.c.CallCtx(ctx, cl.m, "MigrateObject", wire.LOID(l), wire.LOID(destHost))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// GetLoads fetches the jurisdiction's per-host load table.
+func (cl *Client) GetLoads() ([]HostLoad, error) {
+	res, err := cl.c.Call(cl.m, "GetLoads")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalLoads(raw)
+}
+
+// ListPlacements fetches where every object under the magistrate
+// lives.
+func (cl *Client) ListPlacements() ([]Placement, error) {
+	res, err := cl.c.Call(cl.m, "ListPlacements")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalPlacements(raw)
+}

@@ -70,6 +70,14 @@ var Interface = idl.NewInterface("LegionMagistrate",
 		Returns: []idl.Param{{Name: "known", Type: idl.TBool}, {Name: "active", Type: idl.TBool}}},
 	idl.MethodSig{Name: "ListObjects",
 		Returns: []idl.Param{{Name: "objects", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "MigrateObject",
+		Params: []idl.Param{{Name: "object", Type: idl.TLOID}, {Name: "destHost", Type: idl.TLOID}}},
+	idl.MethodSig{Name: "ReportLoad",
+		Params: []idl.Param{{Name: "host", Type: idl.TLOID}, {Name: "load", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "GetLoads",
+		Returns: []idl.Param{{Name: "loads", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "ListPlacements",
+		Returns: []idl.Param{{Name: "placements", Type: idl.TBytes}}},
 )
 
 // ActivationFilter lets a Magistrate implementation refuse to run
@@ -92,8 +100,13 @@ type record struct {
 	// calls wait on it rather than starting the object a second time
 	// on another host.
 	activating bool
-	host       loid.LOID  // host running the object, if active
-	addr       oa.Address // object address, if active
+	// migrating marks an in-flight live migration (migrate.go). The
+	// migration driver owns the record's fate while it is set:
+	// Deactivate/Delete wait on it, and HostFailed leaves the record to
+	// the driver's own partial-failure settlement.
+	migrating bool
+	host      loid.LOID  // host running the object, if active
+	addr      oa.Address // object address, if active
 }
 
 // Magistrate is the Magistrate implementation.
@@ -105,9 +118,21 @@ type Magistrate struct {
 	cond   *sync.Cond // signals activation completion; tied to mu
 	hosts  []hostEntry
 	subs   []subEntry // sub-magistrates (jurisdiction hierarchy, §2.2)
-	rr     int        // round-robin cursor for default placement
+	rr     int        // placement cursor (fallback when scores tie)
 	table  map[loid.LOID]*record
 	filter ActivationFilter
+
+	// loads holds the newest heartbeat load vector per host
+	// (ReportLoad); lastPick is the placement hysteresis anchor;
+	// oblivious forces the pure rotating-cursor placement of the
+	// pre-load-aware magistrate (ablation baselines and experiments
+	// that need reactivation to move objects between hosts).
+	loads     map[loid.LOID]loadEntry
+	lastPick  loid.LOID
+	oblivious bool
+
+	// migHook observes migration phase boundaries (test injection).
+	migHook MigrateHook
 
 	// BindingTTL bounds the validity of bindings the magistrate hands
 	// out; zero means bindings never explicitly expire (§3.5).
@@ -127,6 +152,7 @@ func New(self loid.LOID, store persist.Store) *Magistrate {
 		self:  self,
 		store: store,
 		table: make(map[loid.LOID]*record),
+		loads: make(map[loid.LOID]loadEntry),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -195,6 +221,14 @@ func (m *Magistrate) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		return m.copyTo(inv, true)
 	case "GetBinding":
 		return m.getBinding(inv)
+	case "MigrateObject":
+		return m.migrateObject(inv)
+	case "ReportLoad":
+		return m.reportLoad(inv)
+	case "GetLoads":
+		return [][]byte{marshalLoads(m.Loads())}, nil
+	case "ListPlacements":
+		return [][]byte{marshalPlacements(m.Placements())}, nil
 	case "HasObject":
 		l, err := argLOID(inv, 0)
 		if err != nil {
@@ -503,7 +537,11 @@ func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 	}
 	var affected []loid.LOID
 	for id, rec := range m.table {
-		if !rec.active || !rec.host.SameObject(h) || rec.activating {
+		// Migrating records are left to the migration driver: it
+		// re-checks host liveness at every phase boundary and runs this
+		// same checkpoint-promotion settlement itself, so flipping the
+		// record here would race it into a second incarnation.
+		if !rec.active || !rec.host.SameObject(h) || rec.activating || rec.migrating {
 			continue
 		}
 		rec.active = false
@@ -627,8 +665,42 @@ func (m *Magistrate) bindingLocked(l loid.LOID, addr oa.Address) binding.Binding
 	return binding.Forever(l, addr)
 }
 
-// pickHostLocked applies the host hint, or default round-robin
-// placement (complex policy belongs in Scheduling Agents, §3.8).
+// waitSettledLocked waits (on m.cond, m.mu held) until l's record has
+// no in-flight activation or migration, then returns it. The record is
+// re-looked-up on every wake: it may be deleted while we wait.
+func (m *Magistrate) waitSettledLocked(id loid.LOID) (*record, bool) {
+	for {
+		rec, ok := m.table[id]
+		if !ok {
+			return nil, false
+		}
+		if !rec.activating && !rec.migrating {
+			return rec, true
+		}
+		m.cond.Wait()
+	}
+}
+
+// placeHysteresis is the score margin the previous pick is allowed to
+// trail the best host by and still be chosen again. Resident counts
+// are whole numbers, so a margin below 1 means hysteresis only damps
+// the FRACTIONAL (backlog/rate) part of the score: with equal
+// populations the cursor still rotates like round-robin, but transient
+// queue wiggles don't bounce placement between equally-populated
+// hosts.
+const placeHysteresis = 0.5
+
+// loadStaleAfter bounds how old a heartbeat may be and still influence
+// placement; older reports (or a host that never reported) contribute
+// resident count alone.
+const loadStaleAfter = 2 * time.Second
+
+// pickHostLocked applies the host hint, or least-loaded-with-
+// hysteresis placement over the jurisdiction's hosts. The resident
+// count comes from the magistrate's own table (always current); the
+// dynamic terms — mailbox backlog, dispatch rate, checkpoint pressure
+// — from the hosts' heartbeat load vectors when fresh. With idle,
+// equally-populated hosts the policy degenerates to round-robin.
 func (m *Magistrate) pickHostLocked(hint loid.LOID) (hostEntry, error) {
 	if len(m.hosts) == 0 {
 		return hostEntry{}, fmt.Errorf("magistrate %v has no hosts", m.self)
@@ -641,9 +713,47 @@ func (m *Magistrate) pickHostLocked(hint loid.LOID) (hostEntry, error) {
 		}
 		return hostEntry{}, fmt.Errorf("magistrate %v: hinted host %v not in jurisdiction", m.self, hint)
 	}
-	h := m.hosts[m.rr%len(m.hosts)]
+	if len(m.hosts) == 1 {
+		return m.hosts[0], nil
+	}
+	if m.oblivious {
+		h := m.hosts[m.rr%len(m.hosts)]
+		m.rr++
+		m.lastPick = h.l
+		return h, nil
+	}
+	counts := make(map[loid.LOID]float64, len(m.hosts))
+	for _, rec := range m.table {
+		if rec.active {
+			counts[rec.host.ID()]++
+		}
+	}
+	now := time.Now()
+	var best, last hostEntry
+	bestScore, lastScore := 0.0, 0.0
+	haveBest, haveLast := false, false
+	// Start the scan at the cursor so ties rotate instead of piling
+	// onto the first host.
+	n := len(m.hosts)
+	for i := 0; i < n; i++ {
+		h := m.hosts[(m.rr+i)%n]
+		s := counts[h.l.ID()]
+		if le, ok := m.loads[h.l.ID()]; ok && now.Sub(le.at) < loadStaleAfter {
+			s += le.ld.Score() - float64(le.ld.Residents)
+		}
+		if !haveBest || s < bestScore {
+			best, bestScore, haveBest = h, s, true
+		}
+		if h.l.SameObject(m.lastPick) {
+			last, lastScore, haveLast = h, s, true
+		}
+	}
+	if haveLast && lastScore < bestScore+placeHysteresis {
+		best = last
+	}
 	m.rr++
-	return h, nil
+	m.lastPick = best.l
+	return best, nil
 }
 
 func (m *Magistrate) deactivate(inv *rt.Invocation) ([][]byte, error) {
@@ -659,7 +769,7 @@ func (m *Magistrate) deactivate(inv *rt.Invocation) ([][]byte, error) {
 
 func (m *Magistrate) deactivateByLOID(l loid.LOID) error {
 	m.mu.Lock()
-	rec, ok := m.table[l.ID()]
+	rec, ok := m.waitSettledLocked(l.ID())
 	if !ok {
 		m.mu.Unlock()
 		if _, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {
@@ -714,7 +824,7 @@ func (m *Magistrate) delete(inv *rt.Invocation) ([][]byte, error) {
 
 func (m *Magistrate) deleteByLOID(l loid.LOID) error {
 	m.mu.Lock()
-	rec, ok := m.table[l.ID()]
+	rec, ok := m.waitSettledLocked(l.ID())
 	if !ok {
 		m.mu.Unlock()
 		if _, delegated, derr := m.delegate(l, func(sc *Client) ([][]byte, error) {

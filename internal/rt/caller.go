@@ -280,6 +280,7 @@ func (c *Caller) callCtx(ctx context.Context, target loid.LOID, method string, a
 	for attempt := 0; ; attempt++ {
 		res, err := c.deliver(ctx, b.Address, target, method, args, span)
 		if err == nil && !retryable(res.Code) {
+			c.noteResponder(b, res.From, span)
 			return res, nil
 		}
 		if attempt >= maxAttempts-1 {
@@ -326,6 +327,22 @@ func (c *Caller) callCtx(ctx context.Context, target loid.LOID, method string, a
 		}
 		b = nb
 	}
+}
+
+// noteResponder is the binding-refresh hint a migration tombstone
+// pushes back to callers: replies carry the responder's element, and a
+// definitive answer from an element OTHER than the one the (single-
+// element) binding names means the object now lives there — a
+// forwarded call answered by the new host. Re-pointing the cached
+// binding turns the one-hop tombstone into a self-healing redirect:
+// the very next call goes straight to the new home, no refresh RPC.
+// Replicated addresses are left alone — any replica may answer those.
+func (c *Caller) noteResponder(b binding.Binding, from oa.Element, span *trace.Span) {
+	if from == (oa.Element{}) || len(b.Address.Elements) != 1 || b.Address.Elements[0] == from {
+		return
+	}
+	span.Event("rebind", "reply from new home; cache re-pointed")
+	c.Cache().Add(binding.Binding{LOID: b.LOID, Address: oa.Single(from), Expires: b.Expires})
 }
 
 // deadlineOf extracts a context deadline (zero time when absent).
@@ -773,7 +790,10 @@ func (c *Caller) deliverOne(ctx context.Context, e oa.Element, target loid.LOID,
 	if e == c.node.Element() {
 		if v, ok := c.node.objects.Load(target.ID()); ok {
 			o := v.(*Object)
-			if o.inline || o.concurrency > 1 {
+			// A migration gate must see every arrival: while one is up
+			// for the target, skip the bypass so the transport loopback
+			// routes this call through the park/forward machinery.
+			if (o.inline || o.concurrency > 1) && !c.node.gated(target) {
 				select {
 				case <-o.done:
 					// Stopped but not yet unregistered: let the transport

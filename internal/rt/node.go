@@ -56,9 +56,21 @@ type Node struct {
 
 	addr oa.Address // cached: ReplyTo of every outgoing request
 
-	cGarbage *metrics.Counter
-	cStale   *metrics.Counter
-	cExcept  *metrics.Counter
+	// Migration gates (park.go). nGates is the fast-path short-circuit:
+	// receiveFrame consults the gate table only while it is nonzero.
+	gmu    sync.Mutex
+	gates  map[loid.LOID]*gate // loid.LOID (identity) -> gate
+	nGates atomic.Int64
+
+	// served counts dispatched requests (all residents); Host Objects
+	// derive their dispatch-rate load signal from its delta.
+	served atomic.Uint64
+
+	cGarbage   *metrics.Counter
+	cStale     *metrics.Counter
+	cExcept    *metrics.Counter
+	cParked    *metrics.Counter
+	cForwarded *metrics.Counter
 }
 
 // NewNode creates a node with a fresh endpoint on t. Metrics are
@@ -80,6 +92,10 @@ func NewNode(t transport.Transport, reg *metrics.Registry, name string) (*Node, 
 		cGarbage: reg.Counter("node/" + name + "/garbage"),
 		cStale:   reg.Counter("node/" + name + "/stale-target"),
 		cExcept:  reg.Counter("exceptions/node-" + name),
+		// mig/* metrics are shared by name across every node of a
+		// process, so the debug surface shows one system-wide view.
+		cParked:    reg.Counter("mig/parked"),
+		cForwarded: reg.Counter("mig/forwarded"),
 	}
 	for i := range n.pending {
 		n.pending[i].m = make(map[uint64]*Future)
@@ -98,6 +114,11 @@ func (n *Node) Address() oa.Address { return n.addr }
 
 // Registry returns the node's metrics registry.
 func (n *Node) Registry() *metrics.Registry { return n.reg }
+
+// Served returns the number of requests dispatched on this node since
+// it started; Host Objects difference it across heartbeats for their
+// dispatch-rate load signal.
+func (n *Node) Served() uint64 { return n.served.Load() }
 
 // SetTracer installs the node's span collector; nil disables tracing.
 // Tracers are typically shared by every node of a process so multi-hop
@@ -137,6 +158,9 @@ func (n *Node) Spawn(l loid.LOID, impl Impl, opts ...SpawnOption) (*Object, erro
 		return nil, fmt.Errorf("rt: object %v already active on node %s", l, n.name)
 	}
 	n.mu.Unlock()
+	// A live incarnation supersedes any leftover migration tombstone
+	// (the object migrated back here): clear it or it would shadow us.
+	n.clearGate(l)
 	if b, ok := impl.(Binder); ok {
 		b.Bind(o)
 	}
@@ -199,6 +223,7 @@ func (n *Node) Close() error {
 	for _, o := range objs {
 		o.stop()
 	}
+	n.dropAllGates()
 	return n.ep.Close()
 }
 
@@ -221,6 +246,14 @@ func (n *Node) receiveFrame(b *buf.Buffer, data []byte, sync bool) {
 		n.completeReply(f)
 		f.Close()
 	case wire.KindRequest, wire.KindOneWay:
+		if n.nGates.Load() != 0 {
+			n.gmu.Lock()
+			g, ok := n.gates[f.TargetID()]
+			n.gmu.Unlock()
+			if ok && n.handleGated(g, f, b) {
+				return
+			}
+		}
 		v, ok := n.objects.Load(f.TargetID())
 		if !ok {
 			// The sender's binding is stale (§4.1.4); tell it so.

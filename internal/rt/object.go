@@ -124,6 +124,10 @@ func (o *Object) Caller() *Caller { return o.caller }
 // nothing to save) from a dirty one without touching the Impl.
 func (o *Object) Mutations() uint64 { return o.muts.Load() }
 
+// QueueLen is the object's current mailbox backlog — one term of the
+// Host Object's load vector.
+func (o *Object) QueueLen() int { return len(o.mailbox) }
+
 // SetPolicy replaces the object's MayI policy at run time.
 func (o *Object) SetPolicy(p security.Policy) { o.policy = p }
 
@@ -157,6 +161,7 @@ func (o *Object) serveInline(f *wire.Frame) {
 // which copies any results that alias the request), and the caller
 // closes it after serve returns.
 func (o *Object) serve(f *wire.Frame) {
+	o.node.served.Add(1)
 	if o.cReq != nil {
 		o.cReq.Inc()
 	}
@@ -207,6 +212,7 @@ func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result
 		o.dmu.Lock()
 		defer o.dmu.Unlock()
 	}
+	o.node.served.Add(1)
 	if o.cReq != nil {
 		o.cReq.Inc()
 	}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/host"
+	"repro/internal/loid"
+)
+
+// The load-oblivious policies sit on the placement fast path (every
+// Create consults one); they must not allocate or serialize.
+
+func BenchmarkPickHost(b *testing.B) {
+	cs := candidates(8)
+	b.Run("round-robin", func(b *testing.B) {
+		p := &RoundRobin{}
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := p.Pick(cs, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("random", func(b *testing.B) {
+		p := NewRandom(42)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := p.Pick(cs, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("least-loaded", func(b *testing.B) {
+		p := NewLeastLoaded()
+		lds := make(map[loid.LOID]host.Load, len(cs))
+		for i, c := range cs {
+			lds[c] = host.Load{Residents: uint64(i)}
+		}
+		ask := func(h loid.LOID) (host.Load, error) { return lds[h], nil }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Pick(cs, ask); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestPickHostAllocFree(t *testing.T) {
+	cs := candidates(8)
+	rr := &RoundRobin{}
+	if n := testing.AllocsPerRun(200, func() { rr.Pick(cs, nil) }); n != 0 {
+		t.Errorf("RoundRobin.Pick allocates %.1f/op, want 0", n)
+	}
+	rnd := NewRandom(7)
+	if n := testing.AllocsPerRun(200, func() { rnd.Pick(cs, nil) }); n != 0 {
+		t.Errorf("Random.Pick allocates %.1f/op, want 0", n)
+	}
+}

@@ -10,8 +10,9 @@ package sched
 
 import (
 	"fmt"
-	"math/rand"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/host"
 	"repro/internal/idl"
@@ -30,74 +31,108 @@ var Interface = idl.NewInterface("LegionSchedulingAgent",
 )
 
 // Policy chooses one host from a non-empty candidate list. ask lets
-// load-aware policies query candidate Host Objects (it may be nil for
-// load-oblivious policies).
+// load-aware policies query candidate Host Objects for their load
+// vectors (it may be nil for load-oblivious policies).
 type Policy interface {
-	Pick(candidates []loid.LOID, ask func(loid.LOID) (host.State, error)) (loid.LOID, error)
+	Pick(candidates []loid.LOID, ask func(loid.LOID) (host.Load, error)) (loid.LOID, error)
 	Name() string
 }
 
-// RoundRobin rotates over the candidates.
+// RoundRobin rotates over the candidates. Lock-free: the cursor is a
+// single atomic counter, so concurrent PickHost invocations neither
+// serialize nor allocate.
 type RoundRobin struct {
-	mu sync.Mutex
-	i  int
+	i atomic.Uint64
 }
 
-func (p *RoundRobin) Pick(cs []loid.LOID, _ func(loid.LOID) (host.State, error)) (loid.LOID, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	h := cs[p.i%len(cs)]
-	p.i++
-	return h, nil
+func (p *RoundRobin) Pick(cs []loid.LOID, _ func(loid.LOID) (host.Load, error)) (loid.LOID, error) {
+	return cs[(p.i.Add(1)-1)%uint64(len(cs))], nil
 }
 
 func (p *RoundRobin) Name() string { return "round-robin" }
 
-// Random picks uniformly at random.
+// Random picks uniformly at random from a lock-free splitmix64
+// stream (the same generator the Caller uses for address selection):
+// one atomic add per pick, no locks, no allocation.
 type Random struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	state atomic.Uint64
 }
 
 // NewRandom builds a seeded random policy.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	p := &Random{}
+	p.state.Store(uint64(seed) ^ 0x5DEECE66D)
+	return p
 }
 
-func (p *Random) Pick(cs []loid.LOID, _ func(loid.LOID) (host.State, error)) (loid.LOID, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return cs[p.rng.Intn(len(cs))], nil
+func (p *Random) Pick(cs []loid.LOID, _ func(loid.LOID) (host.Load, error)) (loid.LOID, error) {
+	s := p.state.Add(0x9E3779B97F4A7C15)
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	s *= 0x94D049BB133111EB
+	s ^= s >> 31
+	hi, _ := bits.Mul64(s, uint64(len(cs)))
+	return cs[hi], nil
 }
 
 func (p *Random) Name() string { return "random" }
 
-// LeastLoaded queries every candidate's GetState and picks the host
-// running the fewest objects; unreachable hosts are skipped.
-type LeastLoaded struct{}
+// LeastLoaded queries every candidate's load vector and picks the
+// host with the lowest Score (residents + backlog + dispatch rate +
+// checkpoint pressure — the same hotness number the Magistrate's
+// placement and the rebalancer use). Unreachable hosts are skipped.
+// Hysteresis keeps the previous pick while it trails the best by less
+// than the margin, so placement doesn't flap between hosts whose
+// scores differ only by transient queue noise.
+type LeastLoaded struct {
+	// Hysteresis is the score margin the previous pick may trail the
+	// best candidate by and still be chosen again; zero disables it.
+	Hysteresis float64
 
-func (LeastLoaded) Pick(cs []loid.LOID, ask func(loid.LOID) (host.State, error)) (loid.LOID, error) {
+	mu       sync.Mutex
+	lastPick loid.LOID
+}
+
+// NewLeastLoaded builds the policy with the default hysteresis margin.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{Hysteresis: 0.5} }
+
+func (p *LeastLoaded) Pick(cs []loid.LOID, ask func(loid.LOID) (host.Load, error)) (loid.LOID, error) {
 	if ask == nil {
 		return cs[0], nil
 	}
+	p.mu.Lock()
+	last := p.lastPick
+	p.mu.Unlock()
 	best := loid.Nil
-	bestLoad := ^uint64(0)
+	bestScore, lastScore := 0.0, 0.0
+	haveLast := false
 	for _, c := range cs {
-		st, err := ask(c)
+		ld, err := ask(c)
 		if err != nil {
 			continue
 		}
-		if st.Objects < bestLoad {
-			best, bestLoad = c, st.Objects
+		s := ld.Score()
+		if best.IsNil() || s < bestScore {
+			best, bestScore = c, s
+		}
+		if c.SameObject(last) {
+			lastScore, haveLast = s, true
 		}
 	}
 	if best.IsNil() {
 		return loid.Nil, fmt.Errorf("sched: no candidate host reachable")
 	}
+	if haveLast && lastScore < bestScore+p.Hysteresis {
+		best = last
+	}
+	p.mu.Lock()
+	p.lastPick = best
+	p.mu.Unlock()
 	return best, nil
 }
 
-func (LeastLoaded) Name() string { return "least-loaded" }
+func (p *LeastLoaded) Name() string { return "least-loaded" }
 
 // Agent is the Scheduling Agent object implementation.
 type Agent struct {
@@ -131,8 +166,8 @@ func (a *Agent) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		if len(cs) == 0 {
 			return nil, fmt.Errorf("sched: empty candidate list")
 		}
-		ask := func(h loid.LOID) (host.State, error) {
-			return host.NewClient(a.obj.Caller(), h).GetState()
+		ask := func(h loid.LOID) (host.Load, error) {
+			return host.NewClient(a.obj.Caller(), h).GetLoad()
 		}
 		h, err := a.policy.Pick(cs, ask)
 		if err != nil {

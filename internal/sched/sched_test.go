@@ -55,16 +55,39 @@ func TestRandomCoversCandidates(t *testing.T) {
 func TestLeastLoaded(t *testing.T) {
 	cs := candidates(3)
 	loads := map[loid.LOID]uint64{cs[0]: 5, cs[1]: 1, cs[2]: 3}
-	ask := func(h loid.LOID) (host.State, error) {
-		return host.State{Objects: loads[h]}, nil
+	ask := func(h loid.LOID) (host.Load, error) {
+		return host.Load{Residents: loads[h]}, nil
 	}
-	h, err := LeastLoaded{}.Pick(cs, ask)
+	p := NewLeastLoaded()
+	h, err := p.Pick(cs, ask)
 	if err != nil || h != cs[1] {
 		t.Errorf("Pick = %v, %v", h, err)
 	}
 	// nil ask degrades to first candidate.
-	if h, _ := (LeastLoaded{}).Pick(cs, nil); h != cs[0] {
+	if h, _ := NewLeastLoaded().Pick(cs, nil); h != cs[0] {
 		t.Error("nil-ask fallback wrong")
+	}
+}
+
+func TestLeastLoadedHysteresis(t *testing.T) {
+	cs := candidates(2)
+	p := NewLeastLoaded()
+	depth := map[loid.LOID]uint64{cs[0]: 0, cs[1]: 0}
+	ask := func(h loid.LOID) (host.Load, error) {
+		return host.Load{Residents: 1, MailboxDepth: depth[h]}, nil
+	}
+	if h, _ := p.Pick(cs, ask); h != cs[0] {
+		t.Fatalf("first pick = %v", h)
+	}
+	// A sub-margin backlog wiggle must not move the pick...
+	depth[cs[0]] = 1 // score +0.25 < 0.5 margin
+	if h, _ := p.Pick(cs, ask); h != cs[0] {
+		t.Error("hysteresis did not hold the previous pick")
+	}
+	// ...but a real imbalance must.
+	depth[cs[0]] = 8 // score +2.0
+	if h, _ := p.Pick(cs, ask); h != cs[1] {
+		t.Error("hysteresis held through a real imbalance")
 	}
 }
 
@@ -94,7 +117,7 @@ func TestAgentOverWire(t *testing.T) {
 	agentNode, _ := rt.NewNode(f, nil, "agent")
 	defer agentNode.Close()
 	agentL := loid.NewNoKey(400, 1)
-	agent := NewAgent(LeastLoaded{})
+	agent := NewAgent(NewLeastLoaded())
 	agentCaller := rt.NewCaller(agentNode, agentL, nil)
 	agentCaller.Timeout = time.Second
 	for _, b := range resolver {

@@ -113,6 +113,10 @@ type Config struct {
 	// crashed host's residents then reactivate from their newest
 	// checkpoint instead of a blank state. 0 keeps checkpointing off.
 	CheckpointEvery time.Duration
+	// LoadReportEvery, when > 0, runs the hosts' load-vector heartbeat
+	// loops, feeding the Magistrates' load tables (load-aware placement,
+	// rebalancing). 0 keeps reporting off.
+	LoadReportEvery time.Duration
 	// DataDir, when set, makes the deployment durable (on-disk OPRs and
 	// a restorable system snapshot) — see core.Options.DataDir.
 	DataDir string
@@ -188,6 +192,7 @@ func Build(cfg Config) (*Sim, error) {
 		CallTimeout:          cfg.CallTimeout,
 		Tracer:               tracer,
 		CheckpointEvery:      cfg.CheckpointEvery,
+		LoadReportEvery:      cfg.LoadReportEvery,
 		DataDir:              cfg.DataDir,
 	})
 	if err != nil {

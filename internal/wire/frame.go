@@ -54,6 +54,12 @@ const (
 // maxMethodLen bounds a v4 method name (u16 length field).
 const maxMethodLen = 1<<16 - 1
 
+// fwdFlag is the high bit of the kind byte: set on a frame re-sent by
+// a migration tombstone. A forwarded frame is never forwarded again
+// (one-hop rule), which bounds tombstone chains and makes A→B→A
+// forwarding cycles structurally impossible.
+const fwdFlag = 0x80
+
 // Frame is one lazily-decoded wire message. Parse records section
 // offsets into the raw bytes; accessors decode on demand and return
 // views into the underlying buffer wherever possible. A Frame is valid
@@ -65,6 +71,7 @@ type Frame struct {
 	owner *buf.Buffer
 
 	ver  byte
+	fwd  bool
 	Kind Kind
 	ID   uint64
 	Code Code
@@ -134,7 +141,8 @@ func (f *Frame) Parse(data []byte) error {
 	if f.ver < oldestVer || f.ver > version {
 		return fmt.Errorf("wire: unsupported version %d", f.ver)
 	}
-	f.Kind = Kind(data[3])
+	f.Kind = Kind(data[3] &^ fwdFlag)
+	f.fwd = data[3]&fwdFlag != 0
 	if f.ver == 4 {
 		return f.parseV4(data)
 	}
@@ -302,6 +310,24 @@ func (f *Frame) parseErrAndArgs(data []byte, p uint32) (uint32, error) {
 
 // Version reports the envelope version the frame arrived in.
 func (f *Frame) Version() byte { return f.ver }
+
+// Forwarded reports whether the frame was re-sent by a migration
+// tombstone (one hop already consumed).
+func (f *Frame) Forwarded() bool { return f.fwd }
+
+// Raw returns the frame's backing bytes — one whole encoded frame —
+// valid only while the frame is. A forwarder copies them into a fresh
+// buffer (the view may alias a larger transport window) before
+// re-sending.
+func (f *Frame) Raw() []byte { return f.data }
+
+// MarkForwarded stamps an encoded frame as having consumed its one
+// forwarding hop. data must hold a frame header (Append* output).
+func MarkForwarded(data []byte) {
+	if len(data) > 3 {
+		data[3] |= fwdFlag
+	}
+}
 
 func getLOID(b []byte) loid.LOID {
 	var l loid.LOID
