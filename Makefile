@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test migrate-test
+.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test migrate-test obs-test
 
 all: check
 
@@ -19,7 +19,8 @@ test:
 # dispatch vs failover) are the ones worth paying the race detector for.
 race:
 	$(GO) test -race ./internal/binding ./internal/rt ./internal/transport \
-		./internal/persist ./internal/magistrate ./internal/sched ./internal/host
+		./internal/persist ./internal/magistrate ./internal/sched ./internal/host \
+		./internal/obs ./internal/metrics ./internal/debughttp
 
 # Crash-recovery smoke: the chaos/recovery tests and a quick E18 run
 # (host failover, churn with checkpoints, full -data-dir restart).
@@ -36,6 +37,15 @@ migrate-test:
 	$(GO) test -race -tags buftrack -run TestMigrationStormFIFO ./internal/rt
 	$(GO) test -race ./internal/sched ./internal/host ./internal/magistrate
 	$(GO) run ./cmd/legion-bench -quick -run E19
+
+# Observability plane: the lock-free flight recorder and exemplar
+# histograms under the race detector, the debug surface scraped during
+# live churn, the wire'd LQL path, and a quick E20 run (five canned
+# operator queries against a cluster under migration).
+obs-test:
+	$(GO) test -race ./internal/obs ./internal/metrics ./internal/debughttp
+	$(GO) test -race -run 'TestLiveLQLOverTheWire' ./internal/sim
+	$(GO) run ./cmd/legion-bench -quick -run E20
 
 # All microbenchmarks, with allocation counts. The invocation fast
 # path (E1 binding + the ParallelInvoke suite) is additionally written

@@ -19,7 +19,9 @@ import (
 	"repro/internal/idl"
 	"repro/internal/loid"
 	"repro/internal/magistrate"
+	"repro/internal/metrics"
 	"repro/internal/oa"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/security"
 	"repro/internal/sim"
@@ -471,11 +473,13 @@ func BenchmarkParallelInvoke(b *testing.B) {
 }
 
 // BenchmarkParallelInvokeTraced is BenchmarkParallelInvoke with the
-// distributed tracer installed at the default 1-in-64 sampling — the
-// configuration legiond's -debug-addr turns on. The acceptance bar is
-// that it stays within 5% of the untraced numbers (EXPERIMENTS.md
-// records both): an unsampled call pays one atomic load plus one
-// atomic add, and the sampled 1-in-64 pays span assembly.
+// distributed tracer installed at the default 1-in-64 sampling AND the
+// observability plane's serve-path observer — the configuration
+// legiond's -debug-addr turns on. The acceptance bar is that it stays
+// within a few percent of the untraced numbers (EXPERIMENTS.md records
+// both): an unsampled call pays one atomic load plus one atomic add,
+// the sampled 1-in-64 pays span assembly, and the observer pays two
+// interned-histogram observes — zero allocations in steady state.
 func BenchmarkParallelInvokeTraced(b *testing.B) {
 	tracer := func() *trace.Tracer {
 		return trace.New(trace.Config{SampleEvery: trace.DefaultSampleEvery})
@@ -500,6 +504,10 @@ func benchParallelInvoke(b *testing.B, tr transport.Transport, tracer *trace.Tra
 	if tracer != nil {
 		server.SetTracer(tracer)
 		clientNode.SetTracer(tracer)
+		// The serve-path observer rides along wherever the tracer does
+		// (legiond installs both behind -debug-addr); it must not move
+		// the allocation count.
+		server.SetObserver(obs.NewNodeObserver(metrics.NewRegistry(), obs.NewRecorder("bench", 256), 0))
 	}
 
 	target := loid.New(700, 1, loid.DeriveKey("bench/parallel"))

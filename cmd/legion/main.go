@@ -82,6 +82,10 @@ commands:
   migrate MAG-IDX LOID HOST-LOID  live-migrate to another host, zero failed calls
   loads MAG-IDX                   print the jurisdiction's host load vectors
   rebalance MAG-IDX [ROUNDS]      run the load rebalancer (default: until interrupted)
+  query [MAG-IDX] "LQL"           run an LQL query on the observability plane, e.g.
+                                  query "select loid, host, p999 from objects order by p999 desc limit 5"
+  top [MAG-IDX] [ITERATIONS]      live cluster view: hosts, hottest objects, recent events
+                                  (refreshes every second; default: until interrupted)
 `)
 }
 
@@ -357,19 +361,87 @@ func dispatch(ni *core.NetInfo, cli *rt.Caller, args []string) error {
 			}
 		}
 		return nil
+	case "query":
+		if len(rest) == 0 {
+			return fmt.Errorf(`query needs an LQL string, e.g. query "select * from hosts"`)
+		}
+		idx, q := "0", rest[0]
+		if len(rest) > 1 {
+			idx, q = rest[0], rest[1]
+		}
+		mc, err := magClientAt(ni, cli, idx)
+		if err != nil {
+			return err
+		}
+		t, err := mc.Query(q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+		return nil
+	case "top":
+		idx := "0"
+		if len(rest) > 0 {
+			idx = rest[0]
+		}
+		iters := 0 // 0 = refresh until interrupted
+		if len(rest) > 1 {
+			var err error
+			if iters, err = strconv.Atoi(rest[1]); err != nil || iters < 1 {
+				return fmt.Errorf("bad iteration count %q", rest[1])
+			}
+		}
+		mc, err := magClientAt(ni, cli, idx)
+		if err != nil {
+			return err
+		}
+		return runTop(mc, iters)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
+// runTop renders a refreshing cluster view off the magistrate's
+// observability plane: host load, the hottest objects, and the tail of
+// the flight recorder. iters bounds the refresh count (0 = forever).
+func runTop(mc *magistrate.Client, iters int) error {
+	for i := 0; iters == 0 || i < iters; i++ {
+		hosts, err := mc.Query("select * from hosts order by score desc")
+		if err != nil {
+			return err
+		}
+		objs, err := mc.Query("select loid, impl, host, calls, p99, p999 from objects order by calls desc limit 10")
+		if err != nil {
+			return err
+		}
+		events, err := mc.Query("select at, host, kind, object, detail from events order by at desc limit 8")
+		if err != nil {
+			return err
+		}
+		if i > 0 || iters != 1 {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear; a plain dump when run once
+		}
+		fmt.Printf("legion top — magistrate %v (refresh %d)\n\nHOSTS\n%s\nHOT OBJECTS\n%s\nRECENT EVENTS\n%s",
+			mc.Magistrate(), i+1, hosts.Format(), objs.Format(), events.Format())
+		if iters == 0 || i+1 < iters {
+			time.Sleep(time.Second)
+		}
+	}
+	return nil
+}
+
 func magClient(ni *core.NetInfo, cli *rt.Caller, rest []string, idx int) (*magistrate.Client, error) {
 	if idx >= len(rest) {
 		return nil, fmt.Errorf("missing magistrate index")
 	}
-	i, err := strconv.Atoi(rest[idx])
+	return magClientAt(ni, cli, rest[idx])
+}
+
+func magClientAt(ni *core.NetInfo, cli *rt.Caller, idxStr string) (*magistrate.Client, error) {
+	i, err := strconv.Atoi(idxStr)
 	if err != nil || i < 0 || i >= len(ni.Magistrates) {
-		return nil, fmt.Errorf("bad magistrate index %q (have %d)", rest[idx], len(ni.Magistrates))
+		return nil, fmt.Errorf("bad magistrate index %q (have %d)", idxStr, len(ni.Magistrates))
 	}
 	l, err := loid.Parse(ni.Magistrates[i].LOID)
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/implreg"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -77,10 +78,16 @@ func main() {
 			opts.CheckpointEvery = time.Second
 		}
 		if *debugAddr != "" {
-			// The debug surface implies observability: install a tracer
-			// and a shared health tracker so it has something to show.
+			// The debug surface implies observability: install a tracer,
+			// a shared health tracker, and the cluster observability
+			// plane so it has something to show.
 			opts.Tracer = trace.New(trace.Config{SampleEvery: *traceSample})
 			opts.Health = health.NewTracker(health.Config{}, opts.Registry)
+			opts.Obs = obs.NewPlane(obs.Config{
+				Host:     "core",
+				Registry: opts.Registry,
+				Tracer:   opts.Tracer,
+			})
 			if opts.LoadReportEvery == 0 {
 				// /debug/placements is dead air without load reports.
 				opts.LoadReportEvery = time.Second
@@ -97,6 +104,7 @@ func main() {
 				Tracer:     opts.Tracer,
 				Health:     opts.Health,
 				Placements: placementsView(sys),
+				Obs:        opts.Obs,
 			})
 			if err != nil {
 				log.Fatalf("legiond: debug listener: %v", err)
@@ -139,6 +147,32 @@ func main() {
 		}
 		remote.CheckpointEvery = *ckptEvery
 		remote.LoadReportEvery = *loadReport
+		if *debugAddr != "" {
+			// Host processes get the same local observability a core
+			// process does: a sampling tracer plus a plane whose metrics
+			// and flight-recorder events also piggyback back to the
+			// Magistrate on load reports (cluster-wide LQL sees them).
+			remote.Tracer = trace.New(trace.Config{SampleEvery: *traceSample})
+			remote.Obs = obs.NewPlane(obs.Config{
+				Host:     fmt.Sprintf("host/%d", *seq),
+				Registry: remote.Reg,
+				Tracer:   remote.Tracer,
+			})
+			if remote.LoadReportEvery == 0 {
+				// Telemetry rides the load report; give it a carrier.
+				remote.LoadReportEvery = time.Second
+			}
+			bound, stopDebug, err := debughttp.Serve(*debugAddr, debughttp.Options{
+				Registry: remote.Reg,
+				Tracer:   remote.Tracer,
+				Obs:      remote.Obs,
+			})
+			if err != nil {
+				log.Fatalf("legiond: debug listener: %v", err)
+			}
+			defer stopDebug()
+			fmt.Printf("legiond: debug surface at http://%s/ (tracing 1 in %d)\n", bound, *traceSample)
+		}
 		defer remote.Close()
 		joined, err := remote.JoinHost(*seq, impls, *magIdx)
 		if err != nil {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/naming"
 	"repro/internal/oa"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/rt"
 	"repro/internal/trace"
@@ -99,6 +100,12 @@ type Options struct {
 	// cooperative failure detection plus breaker state for the debug
 	// surface. Nil leaves callers without breakers (prior behaviour).
 	Health *health.Tracker
+	// Obs, if set, is the cluster observability plane: every node Boot
+	// creates gets its per-method SLO observer, every Magistrate feeds
+	// its placement/load/generation history into it, and breaker
+	// transitions land in its flight recorder. Nil disables the plane
+	// (the invocation path then pays one atomic load per serve).
+	Obs *obs.Plane
 }
 
 func (o *Options) fill() {
@@ -228,6 +235,14 @@ func Boot(opts Options) (*System, error) {
 		sys.Fabric = f
 		sys.Trans = f
 	}
+	if opts.Health != nil && opts.Obs != nil {
+		// Breaker transitions are exactly the kind of rare, significant
+		// moment the flight recorder exists for.
+		plane := opts.Obs
+		opts.Health.SetNotify(func(e oa.Element, st health.State) {
+			plane.Record(obs.KindBreaker, e.String(), "breaker "+st.String(), 0)
+		})
+	}
 
 	if err := sys.bootstrap(); err != nil {
 		sys.Close()
@@ -243,6 +258,9 @@ func (s *System) newNode(name string) (*rt.Node, error) {
 	}
 	if s.Options.Tracer != nil {
 		n.SetTracer(s.Options.Tracer)
+	}
+	if ob := s.Options.Obs.Observer(); ob != nil {
+		n.SetObserver(ob)
 	}
 	s.nodes = append(s.nodes, n)
 	return n, nil
@@ -442,6 +460,9 @@ func (s *System) bootstrap() error {
 		}
 		mag := magistrate.New(ml, juris.Store)
 		mag.BindingTTL = s.Options.BindingTTL
+		if s.Options.Obs != nil {
+			mag.SetPlane(s.Options.Obs)
+		}
 		if snap != nil && j < len(snap.Magistrates) && len(snap.Magistrates[j]) > 0 {
 			if err := mag.RestoreState(snap.Magistrates[j]); err != nil {
 				return fmt.Errorf("core: restore magistrate %d: %w", j, err)

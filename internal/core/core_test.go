@@ -440,13 +440,13 @@ func TestCloneRelievesHotClass(t *testing.T) {
 	}
 	sys.BootClient().AddBinding(cloneB)
 	clone := class.NewClient(sys.BootClient(), cloneL)
-	before := sys.Reg.Counter("req/obj/" + clsL.String()).Value()
+	before := sys.Reg.Counter("req/obj/" + clsL.ID().String()).Value()
 	for i := 0; i < 5; i++ {
 		if _, _, err := clone.Create(nil, loid.Nil, loid.Nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	after := sys.Reg.Counter("req/obj/" + clsL.String()).Value()
+	after := sys.Reg.Counter("req/obj/" + clsL.ID().String()).Value()
 	if after != before {
 		t.Errorf("original class served %d requests during clone creates", after-before)
 	}

@@ -60,6 +60,9 @@ func (s *System) AddJurisdiction(hostCount int) (*Jurisdiction, error) {
 	}
 	mag := magistrate.New(ml, juris.Store)
 	mag.BindingTTL = s.Options.BindingTTL
+	if s.Options.Obs != nil {
+		mag.SetPlane(s.Options.Obs)
+	}
 	leaf := s.NextLeaf()
 	magCaller := rt.NewCaller(node, ml, nil)
 	s.tune(magCaller)

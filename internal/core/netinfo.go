@@ -14,7 +14,9 @@ import (
 	"repro/internal/magistrate"
 	"repro/internal/metrics"
 	"repro/internal/oa"
+	"repro/internal/obs"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -120,6 +122,15 @@ type Remote struct {
 	// host this process joins, feeding the owning Magistrate's placement
 	// and rebalancing decisions.
 	LoadReportEvery time.Duration
+	// Tracer, if set, is installed on every node this process creates,
+	// so its hops of cross-process invocations record spans locally.
+	Tracer *trace.Tracer
+	// Obs, if set, is this process's local observability plane: nodes
+	// get its SLO observer, and joined hosts piggyback telemetry
+	// deltas (this registry's counters, histograms, and flight-recorder
+	// events) on their load reports to the owning Magistrate. This is
+	// how remote processes' metrics reach cluster-wide LQL queries.
+	Obs *obs.Plane
 
 	leafLOID loid.LOID
 	leafAddr oa.Address
@@ -140,14 +151,30 @@ func Attach(ni *NetInfo) (*Remote, error) {
 	return r, nil
 }
 
-// NewClient builds a caller in this process wired to the remote
-// system's Binding Agents.
-func (r *Remote) NewClient(self loid.LOID) (*rt.Caller, error) {
-	node, err := rt.NewNode(r.Trans, r.Reg, "remote-client")
+// newNode builds a process-local node with the Remote's tracer and
+// observability hooks installed, mirroring System.newNode.
+func (r *Remote) newNode(name string) (*rt.Node, error) {
+	node, err := rt.NewNode(r.Trans, r.Reg, name)
 	if err != nil {
 		return nil, err
 	}
+	if r.Tracer != nil {
+		node.SetTracer(r.Tracer)
+	}
+	if ob := r.Obs.Observer(); ob != nil {
+		node.SetObserver(ob)
+	}
 	r.nodes = append(r.nodes, node)
+	return node, nil
+}
+
+// NewClient builds a caller in this process wired to the remote
+// system's Binding Agents.
+func (r *Remote) NewClient(self loid.LOID) (*rt.Caller, error) {
+	node, err := r.newNode("remote-client")
+	if err != nil {
+		return nil, err
+	}
 	c := rt.NewCaller(node, self, nil)
 	c.Timeout = 10 * time.Second
 	c.SetResolver(bindagent.NewClient(c, r.leafLOID, r.leafAddr))
@@ -173,11 +200,10 @@ func (r *Remote) JoinHost(seq uint64, impls *implreg.Registry, magistrateIdx int
 	if err != nil {
 		return nil, err
 	}
-	node, err := rt.NewNode(r.Trans, r.Reg, fmt.Sprintf("joined-host%d", seq))
+	node, err := r.newNode(fmt.Sprintf("joined-host%d", seq))
 	if err != nil {
 		return nil, err
 	}
-	r.nodes = append(r.nodes, node)
 	hl := loid.New(loid.ClassIDLegionHost, seq, loid.DeriveKey(fmt.Sprintf("host/%d", seq)))
 	resFactory := func(self loid.LOID) rt.Resolver {
 		c := rt.NewCaller(node, self, nil)
@@ -207,6 +233,11 @@ func (r *Remote) JoinHost(seq uint64, impls *implreg.Registry, magistrateIdx int
 	}
 	if r.CheckpointEvery > 0 {
 		h.StartCheckpointer(magL, magAddr, r.CheckpointEvery)
+	}
+	if r.Obs != nil {
+		// This process owns its registry (distinct from the
+		// Magistrate's), so piggybacked telemetry never double-counts.
+		h.SetTelemetry(obs.NewTelemetry(r.Reg, r.Obs.Recorder()))
 	}
 	if r.LoadReportEvery > 0 {
 		h.StartLoadReporter(magL, magAddr, r.LoadReportEvery)

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/health"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	// load tables. Nil disables the endpoint (host-only processes have
 	// no placement authority to show).
 	Placements func() []PlacementView
+	// Obs supplies /debug/query (LQL over the observability plane) and
+	// /debug/events (the merged flight-recorder timeline). Nil disables
+	// both endpoints.
+	Obs *obs.Plane
 }
 
 // PlacementHost is one host row of a jurisdiction's placement view:
@@ -82,6 +87,9 @@ type PlacementView struct {
 //	                  timeline, &format=chrome for trace-event JSON
 //	/debug/health   — per-endpoint breaker state
 //	/debug/placements — per-jurisdiction host loads and object placements
+//	/debug/query    — LQL over the observability plane (?q=<lql>,
+//	                  &format=json for machine output)
+//	/debug/events   — merged cluster flight-recorder timeline
 //	/debug/pprof/   — stdlib profiles
 //	/debug/vars     — expvar JSON
 func Handler(opts Options) http.Handler {
@@ -96,6 +104,8 @@ func Handler(opts Options) http.Handler {
 			"/debug/traces   recent traces (?id=<hex>&format=chrome)\n"+
 			"/debug/health   circuit-breaker state per endpoint\n"+
 			"/debug/placements  host load vectors and object placements\n"+
+			"/debug/query    LQL query (?q=select+*+from+hosts&format=json)\n"+
+			"/debug/events   flight-recorder event timeline\n"+
 			"/debug/pprof/   runtime profiles\n"+
 			"/debug/vars     expvar JSON\n")
 	})
@@ -111,6 +121,12 @@ func Handler(opts Options) http.Handler {
 	})
 	mux.HandleFunc("/debug/placements", func(w http.ResponseWriter, r *http.Request) {
 		servePlacements(w, opts.Placements)
+	})
+	mux.HandleFunc("/debug/query", func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(w, r, opts.Obs)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(w, opts.Obs)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -158,10 +174,12 @@ func writeMetrics(w http.ResponseWriter, reg *metrics.Registry) {
 	}
 	for _, c := range reg.Counters() {
 		n := promName(c.Name)
+		fmt.Fprintf(w, "# HELP %s legion counter %q\n", n, c.Name)
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
 	}
 	for _, h := range reg.Histograms() {
 		n := promName(h.Name)
+		fmt.Fprintf(w, "# HELP %s legion latency histogram %q (seconds)\n", n, h.Name)
 		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
 		var cum uint64
 		for i, cnt := range h.Stats.Buckets {
@@ -261,6 +279,44 @@ func servePlacements(w http.ResponseWriter, fn func() []PlacementView) {
 			}
 			fmt.Fprintf(w, "  %-24s %-16s %-7s %s\n", o.Object, o.Impl, state, o.Host)
 		}
+	}
+}
+
+func serveQuery(w http.ResponseWriter, r *http.Request, p *obs.Plane) {
+	if p == nil {
+		http.Error(w, "no observability plane installed", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		fmt.Fprintf(w, "LQL query endpoint; pass ?q=<query>\n\n"+
+			"tables: %s\n\n"+
+			"example: /debug/query?q=select loid, host, p999 from objects order by p999 desc limit 5\n",
+			strings.Join(p.Tables(), " "))
+		return
+	}
+	t, err := p.Query(q)
+	if err != nil {
+		http.Error(w, "query error: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(t.JSON())
+		return
+	}
+	fmt.Fprint(w, t.Format())
+}
+
+func serveEvents(w http.ResponseWriter, p *obs.Plane) {
+	if p == nil {
+		http.Error(w, "no observability plane installed", http.StatusNotFound)
+		return
+	}
+	evs := p.Events()
+	fmt.Fprintf(w, "%d flight-recorder events (oldest first)\n\n", len(evs))
+	for _, e := range evs {
+		fmt.Fprintln(w, e.String())
 	}
 }
 

@@ -98,7 +98,7 @@ func RunE13(scale Scale) (*Table, error) {
 			label = "on"
 		}
 		lat[i] = total / time.Duration(refs)
-		classReqs := s.Reg.Counter("req/obj/" + cl.Class().String()).Value()
+		classReqs := s.Reg.Counter("req/obj/" + cl.Class().ID().String()).Value()
 		classLoad[i] = classReqs
 		t.Rows = append(t.Rows, []string{
 			label,

@@ -108,6 +108,7 @@ func All() []Runner {
 		{"E17", "trace-attribution", RunE17},
 		{"E18", "crash-recovery", RunE18},
 		{"E19", "live-migration", RunE19},
+		{"E20", "observability", RunE20},
 	}
 }
 

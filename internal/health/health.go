@@ -22,6 +22,7 @@ package health
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -93,6 +94,26 @@ type Tracker struct {
 	cOpened  *metrics.Counter // health/opened: breaker open transitions
 	cSkipped *metrics.Counter // health/skipped: sends suppressed by an open breaker
 	cProbes  *metrics.Counter // health/probes: half-open probes admitted
+
+	// notify observes breaker state transitions (open and re-close) —
+	// the observability plane's flight recorder hangs off it. Must be
+	// cheap and non-blocking; called outside the endpoint lock.
+	notify atomic.Pointer[func(e oa.Element, s State)]
+}
+
+// SetNotify installs the transition observer (nil disables).
+func (t *Tracker) SetNotify(f func(e oa.Element, s State)) {
+	if f == nil {
+		t.notify.Store(nil)
+		return
+	}
+	t.notify.Store(&f)
+}
+
+func (t *Tracker) notifyTransition(e oa.Element, s State) {
+	if p := t.notify.Load(); p != nil {
+		(*p)(e, s)
+	}
 }
 
 // NewTracker builds a tracker recording counters into reg (pass
@@ -132,6 +153,7 @@ func (t *Tracker) get(e oa.Element) *endpointState {
 func (t *Tracker) ReportSuccess(e oa.Element, latency time.Duration) {
 	es := t.get(e)
 	es.mu.Lock()
+	reopened := es.state != Closed
 	es.consec = 0
 	es.probing = false
 	es.state = Closed
@@ -144,6 +166,9 @@ func (t *Tracker) ReportSuccess(e oa.Element, latency time.Duration) {
 		}
 	}
 	es.mu.Unlock()
+	if reopened {
+		t.notifyTransition(e, Closed)
+	}
 }
 
 // ReportFailure records a send failure or reply timeout against e.
@@ -154,15 +179,20 @@ func (t *Tracker) ReportFailure(e oa.Element) {
 	es.mu.Lock()
 	es.consec++
 	wasProbe := es.state == HalfOpen
+	opened := false
 	if wasProbe || es.consec >= t.cfg.FailureThreshold {
 		if es.state != Open {
 			t.cOpened.Inc()
+			opened = true
 		}
 		es.state = Open
 		es.openedUntil = time.Now().Add(t.cfg.OpenDuration)
 		es.probing = false
 	}
 	es.mu.Unlock()
+	if opened {
+		t.notifyTransition(e, Open)
+	}
 }
 
 // Allow reports whether traffic to e should be attempted now. An open

@@ -15,6 +15,7 @@ import (
 	"repro/internal/implreg"
 	"repro/internal/loid"
 	"repro/internal/oa"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/wire"
 )
@@ -86,8 +87,9 @@ type Host struct {
 	cpuLimit uint64               // max concurrently active objects; 0 = unlimited
 	memLimit uint64               // advisory memory budget, reported via GetState
 	obj      *rt.Object
-	ckpt     *checkpointer // periodic durability loop; nil when off
-	loadRep  *loadReporter // heartbeat load reports; nil when off
+	ckpt     *checkpointer  // periodic durability loop; nil when off
+	loadRep  *loadReporter  // heartbeat load reports; nil when off
+	telem    *obs.Telemetry // piggybacked telemetry; nil when off
 
 	meter loadMeter // dispatch-rate sampling for the load vector
 }
@@ -103,6 +105,22 @@ func New(self loid.LOID, node *rt.Node, impls *implreg.Registry, newRes Resolver
 		newRes:  newRes,
 		running: make(map[loid.LOID]string),
 	}
+}
+
+// SetTelemetry configures the telemetry sender this host piggybacks on
+// its load-report heartbeat (nil disables). Only hosts whose metrics
+// registry is distinct from the observability plane's should send —
+// in-process hosts share the plane's registry and are read directly.
+func (h *Host) SetTelemetry(t *obs.Telemetry) {
+	h.mu.Lock()
+	h.telem = t
+	h.mu.Unlock()
+}
+
+func (h *Host) telemetry() *obs.Telemetry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.telem
 }
 
 // LOID returns the Host Object's name.
@@ -217,7 +235,10 @@ func (h *Host) startObject(inv *rt.Invocation) ([][]byte, error) {
 			return nil, fmt.Errorf("host %v: restore %v: %w", h.self, l, err)
 		}
 	}
-	opts := []rt.SpawnOption{rt.WithLabel("obj/" + l.String())}
+	// Label by canonical ID (key fingerprint stripped) so per-object
+	// metrics join with the Magistrate's placement table, which indexes
+	// by ID as well.
+	opts := []rt.SpawnOption{rt.WithLabel("obj/" + l.ID().String())}
 	if h.newRes != nil {
 		opts = append(opts, rt.WithCaller(rt.NewCaller(h.node, l, h.newRes(l))))
 	}

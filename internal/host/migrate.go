@@ -264,9 +264,16 @@ func (h *Host) StartLoadReporter(mag loid.LOID, magAddr oa.Address, every time.D
 			case <-tick.C:
 				ld := h.LoadNow()
 				// Best effort: a missed heartbeat just leaves the last
-				// report standing until the next tick.
-				_, _ = h.obj.Caller().CallAddr(magAddr, mag, "ReportLoad",
-					wire.LOID(h.self), ld.Marshal())
+				// report standing until the next tick. A configured
+				// telemetry sender piggybacks its delta report as an
+				// optional third argument — one message carries both.
+				if tb := h.telemetry().Report(); tb != nil {
+					_, _ = h.obj.Caller().CallAddr(magAddr, mag, "ReportLoad",
+						wire.LOID(h.self), ld.Marshal(), tb)
+				} else {
+					_, _ = h.obj.Caller().CallAddr(magAddr, mag, "ReportLoad",
+						wire.LOID(h.self), ld.Marshal())
+				}
 			}
 		}
 	}()

@@ -6,6 +6,7 @@ import (
 	"repro/internal/binding"
 	"repro/internal/loid"
 	"repro/internal/oa"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/wire"
 )
@@ -233,6 +234,20 @@ func (cl *Client) Migrate(ctx context.Context, l, destHost loid.LOID) error {
 		return err
 	}
 	return res.Err()
+}
+
+// Query evaluates one LQL query on the Magistrate's observability
+// plane and returns the result table.
+func (cl *Client) Query(q string) (*obs.Table, error) {
+	res, err := cl.c.Call(cl.m, "Query", wire.String(q))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return nil, err
+	}
+	return obs.UnmarshalTable(raw)
 }
 
 // GetLoads fetches the jurisdiction's per-host load table.

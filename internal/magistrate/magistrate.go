@@ -21,6 +21,7 @@ import (
 	"repro/internal/loid"
 	"repro/internal/metrics"
 	"repro/internal/oa"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/rt"
 	"repro/internal/trace"
@@ -73,11 +74,15 @@ var Interface = idl.NewInterface("LegionMagistrate",
 	idl.MethodSig{Name: "MigrateObject",
 		Params: []idl.Param{{Name: "object", Type: idl.TLOID}, {Name: "destHost", Type: idl.TLOID}}},
 	idl.MethodSig{Name: "ReportLoad",
-		Params: []idl.Param{{Name: "host", Type: idl.TLOID}, {Name: "load", Type: idl.TBytes}}},
+		Params: []idl.Param{{Name: "host", Type: idl.TLOID}, {Name: "load", Type: idl.TBytes},
+			{Name: "telemetry", Type: idl.TBytes}}},
 	idl.MethodSig{Name: "GetLoads",
 		Returns: []idl.Param{{Name: "loads", Type: idl.TBytes}}},
 	idl.MethodSig{Name: "ListPlacements",
 		Returns: []idl.Param{{Name: "placements", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "Query",
+		Params:  []idl.Param{{Name: "lql", Type: idl.TString}},
+		Returns: []idl.Param{{Name: "table", Type: idl.TBytes}}},
 )
 
 // ActivationFilter lets a Magistrate implementation refuse to run
@@ -134,6 +139,11 @@ type Magistrate struct {
 	// migHook observes migration phase boundaries (test injection).
 	migHook MigrateHook
 
+	// plane is the cluster observability plane this Magistrate feeds
+	// (heartbeat epochs, piggybacked telemetry, OPR generations,
+	// flight-recorder events) and queries for LQL; nil when obs is off.
+	plane *obs.Plane
+
 	// BindingTTL bounds the validity of bindings the magistrate hands
 	// out; zero means bindings never explicitly expire (§3.5).
 	BindingTTL time.Duration
@@ -167,6 +177,54 @@ func (m *Magistrate) SetFilter(f ActivationFilter) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.filter = f
+}
+
+// SetPlane connects this Magistrate to the cluster observability
+// plane: its placement table and load view become LQL sources, its
+// lifecycle actions log OPR generations and flight-recorder events,
+// and the Query member function evaluates against p. nil disconnects.
+func (m *Magistrate) SetPlane(p *obs.Plane) {
+	m.mu.Lock()
+	m.plane = p
+	m.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.AddObjectSource(func() []obs.ObjectView {
+		ps := m.Placements()
+		out := make([]obs.ObjectView, 0, len(ps))
+		for _, pl := range ps {
+			v := obs.ObjectView{LOID: pl.Object.String(), Impl: pl.Impl, Active: pl.Active}
+			if pl.Active {
+				v.Host = pl.Host.String()
+			}
+			out = append(out, v)
+		}
+		return out
+	})
+	p.AddHostSource(func() []obs.HostView {
+		ls := m.Loads()
+		out := make([]obs.HostView, 0, len(ls))
+		for _, hl := range ls {
+			out = append(out, obs.HostView{
+				Host:      hl.Host.String(),
+				Score:     hl.Load.Score(),
+				Residents: hl.Load.Residents,
+				Rate:      hl.Load.DispatchRate,
+				Mailbox:   hl.Load.MailboxDepth,
+				Dirty:     hl.Load.CkptDirty,
+				Age:       hl.Age,
+			})
+		}
+		return out
+	})
+}
+
+// Plane returns the connected observability plane (nil when off).
+func (m *Magistrate) Plane() *obs.Plane {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.plane
 }
 
 // Interface implements rt.Impl.
@@ -229,6 +287,16 @@ func (m *Magistrate) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		return [][]byte{marshalLoads(m.Loads())}, nil
 	case "ListPlacements":
 		return [][]byte{marshalPlacements(m.Placements())}, nil
+	case "Query":
+		q, err := argString(inv, 0)
+		if err != nil {
+			return nil, err
+		}
+		t, err := m.Plane().Query(q)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{t.Marshal()}, nil
 	case "HasObject":
 		l, err := argLOID(inv, 0)
 		if err != nil {
@@ -327,6 +395,7 @@ func (m *Magistrate) register(inv *rt.Invocation) ([][]byte, error) {
 		}
 	}
 	m.table[l.ID()] = &record{impl: implName, oprAddr: oprAddr}
+	m.plane.NoteGeneration(l.ID().String(), "register", "", len(state))
 	return nil, nil
 }
 
@@ -377,10 +446,12 @@ func (m *Magistrate) checkpoint(inv *rt.Invocation) ([][]byte, error) {
 	}
 	old := rec2.ckptAddr
 	rec2.ckptAddr = newAddr
+	plane := m.plane
 	m.mu.Unlock()
 	if old != "" {
 		_ = m.store.Delete(old)
 	}
+	plane.NoteGeneration(l.ID().String(), "checkpoint", fromHost.String(), len(state))
 	return nil, nil
 }
 
@@ -508,7 +579,10 @@ func (m *Magistrate) startOn(ctx context.Context, l loid.LOID, rec *record, h ho
 	}
 	rec.ckptAddr = ""
 	b := m.bindingLocked(l, addr)
+	plane := m.plane
 	m.mu.Unlock()
+	plane.NoteGeneration(l.ID().String(), "activate", h.l.String(), len(opr.State))
+	plane.Record(obs.KindActivate, l.ID().String(), "started on "+h.l.String(), trace.FromContext(ctx).TraceID)
 	return b, nil
 }
 
@@ -547,6 +621,7 @@ func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 		rec.active = false
 		rec.host = loid.Nil
 		rec.addr = oa.Address{}
+		promoted := false
 		if rec.ckptAddr != "" {
 			// Recover from the newest checkpoint.
 			if rec.oprAddr != "" {
@@ -554,6 +629,7 @@ func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 			}
 			rec.oprAddr = rec.ckptAddr
 			rec.ckptAddr = ""
+			promoted = true
 		} else if rec.oprAddr == "" {
 			// The running state died with the host; persist a blank
 			// OPR so the record is activatable again.
@@ -561,10 +637,16 @@ func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 				rec.oprAddr = a
 			}
 		}
+		if promoted {
+			m.plane.NoteGeneration(id.ID().String(), "promote", h.String(), 0)
+		}
 		affected = append(affected, id)
 	}
 	survivors := len(m.hosts) > 0
+	plane := m.plane
 	m.mu.Unlock()
+	plane.Record(obs.KindFailover, h.String(),
+		fmt.Sprintf("host failed, %d objects affected (survivors=%v)", len(affected), survivors), 0)
 	if len(affected) > 0 && survivors {
 		go m.reactivate(affected)
 	}
@@ -803,11 +885,13 @@ func (m *Magistrate) deactivateByLOID(l loid.LOID) error {
 	rec.impl = implName
 	ckpt := rec.ckptAddr
 	rec.ckptAddr = ""
+	plane := m.plane
 	m.mu.Unlock()
 	if ckpt != "" {
 		// The clean-shutdown OPR supersedes any crash checkpoint.
 		_ = m.store.Delete(ckpt)
 	}
+	plane.NoteGeneration(l.ID().String(), "deactivate", hostL.String(), len(state))
 	return nil
 }
 

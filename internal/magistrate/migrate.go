@@ -19,6 +19,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/loid"
 	"repro/internal/oa"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/rt"
 	"repro/internal/trace"
@@ -78,7 +79,15 @@ func (m *Magistrate) SetMigrateHook(h MigrateHook) {
 func (m *Magistrate) hook(phase string, l, src, dest loid.LOID) {
 	m.mu.Lock()
 	h := m.migHook
+	plane := m.plane
 	m.mu.Unlock()
+	// Every phase boundary is a flight-recorder event; the commit is
+	// additionally an entry in the object's incarnation history.
+	plane.Record(obs.KindMigrate, l.ID().String(),
+		phase+" "+src.String()+" -> "+dest.String(), 0)
+	if phase == "committed" {
+		plane.NoteGeneration(l.ID().String(), "migrate", dest.String(), 0)
+	}
 	if h != nil {
 		h(phase, l, src, dest)
 	}
@@ -100,7 +109,19 @@ func (m *Magistrate) reportLoad(inv *rt.Invocation) ([][]byte, error) {
 	}
 	m.mu.Lock()
 	m.loads[h.ID()] = loadEntry{ld: ld, at: time.Now()}
+	plane := m.plane
 	m.mu.Unlock()
+	// Every heartbeat becomes one epoch of the cluster timeline; a host
+	// with a distinct registry additionally piggybacks its telemetry
+	// report as an optional third argument (older hosts send two).
+	plane.NoteLoad(h.String(), ld.Score(), ld.Residents, ld.DispatchRate, ld.MailboxDepth)
+	if len(inv.Args) > 2 {
+		if tb, err := inv.Arg(2); err == nil && len(tb) > 0 {
+			// A malformed report is a telemetry loss, not a heartbeat
+			// failure: the load vector above already landed.
+			_ = plane.Ingest(h.String(), tb)
+		}
+	}
 	return nil, nil
 }
 

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExemplarSlowestWins(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(100*time.Microsecond, 1)
+	h.ObserveExemplar(900*time.Microsecond, 2) // same power-of-two bucket span, slower
+	h.ObserveExemplar(700*time.Microsecond, 3)
+	st := h.Snapshot()
+	if st.Count != 3 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	ex, ok := st.Exemplar()
+	if !ok {
+		t.Fatal("no exemplar")
+	}
+	if ex.TraceID != 2 || ex.Dur != 900*time.Microsecond {
+		t.Fatalf("slowest should win: %+v", ex)
+	}
+}
+
+func TestExemplarZeroTraceIgnored(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(time.Millisecond, 0)
+	st := h.Snapshot()
+	if st.Count != 1 {
+		t.Fatalf("observation must still count: %d", st.Count)
+	}
+	if _, ok := st.Exemplar(); ok {
+		t.Fatal("traceless observation should not produce an exemplar")
+	}
+}
+
+func TestExemplarSurvivesResetCycle(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(time.Millisecond, 7)
+	h.Reset()
+	st := h.Snapshot()
+	if _, ok := st.Exemplar(); ok {
+		t.Fatal("reset must clear exemplars")
+	}
+	h.ObserveExemplar(2*time.Millisecond, 8)
+	st = h.Snapshot()
+	ex, ok := st.Exemplar()
+	if !ok || ex.TraceID != 8 {
+		t.Fatalf("post-reset exemplar: %+v (ok=%v)", ex, ok)
+	}
+}
+
+// TestExemplarParallelObserve attaches exemplars from many goroutines
+// while snapshots race the writers — the documented benign dur/trace
+// pairing race must never corrupt counts or panic (run with -race).
+func TestExemplarParallelObserve(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := h.Snapshot()
+				for _, ex := range st.Exemplars {
+					if ex.TraceID == 0 || ex.Dur <= 0 {
+						t.Error("snapshot surfaced an empty exemplar slot")
+						return
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d := time.Duration(w*per+i+1) * time.Microsecond
+				h.ObserveExemplar(d, uint64(w*per+i+1))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	<-done
+	st := h.Snapshot()
+	if st.Count != writers*per {
+		t.Fatalf("lost observations: %d != %d", st.Count, writers*per)
+	}
+	ex, ok := st.Exemplar()
+	if !ok {
+		t.Fatal("no exemplar after parallel observes")
+	}
+	// The slowest bucket's exemplar must come from the top of the range.
+	if ex.Dur < time.Duration(writers*per/2)*time.Microsecond {
+		t.Fatalf("exemplar suspiciously fast: %v", ex.Dur)
+	}
+}
+
+func TestMergeKeepsSlowerExemplarAndRecomputes(t *testing.T) {
+	var a, b Histogram
+	a.ObserveExemplar(1100*time.Microsecond, 10)
+	b.ObserveExemplar(1900*time.Microsecond, 20) // same power-of-two bucket, slower
+	b.ObserveExemplar(40*time.Millisecond, 30)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged count = %d", sa.Count)
+	}
+	if sa.P999 <= 0 || sa.P50 <= 0 {
+		t.Fatalf("merge must recompute percentiles: %+v", sa)
+	}
+	ex, ok := sa.Exemplar()
+	if !ok || ex.TraceID != 30 {
+		t.Fatalf("slowest-bucket exemplar should be trace 30: %+v", ex)
+	}
+	// Per-bucket: the shared bucket keeps the slower of the two.
+	for _, e := range sa.Exemplars {
+		if e.TraceID == 10 {
+			t.Fatalf("merge kept the faster exemplar in a shared bucket: %+v", sa.Exemplars)
+		}
+	}
+}
+
+func TestRegistryReadOnlyLookups(t *testing.T) {
+	r := NewRegistry()
+	if v := r.CounterValue("nope"); v != 0 {
+		t.Fatalf("missing counter value = %d", v)
+	}
+	if st := r.HistogramSnapshot("nope"); st.Count != 0 {
+		t.Fatalf("missing histogram count = %d", st.Count)
+	}
+	// Lookups must NOT create series (queries would pollute the registry).
+	if n := len(r.Counters()); n != 0 {
+		t.Fatalf("CounterValue created a counter: %d", n)
+	}
+	if n := len(r.Histograms()); n != 0 {
+		t.Fatalf("HistogramSnapshot created a histogram: %d", n)
+	}
+	r.Counter("real").Add(3)
+	if v := r.CounterValue("real"); v != 3 {
+		t.Fatalf("existing counter value = %d", v)
+	}
+}

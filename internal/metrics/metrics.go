@@ -73,6 +73,13 @@ type Histogram struct {
 	minEnc  atomic.Int64
 	maxEnc  atomic.Int64
 	buckets [numBuckets]atomic.Uint64
+	// exemplars: per bucket, the duration (ns, +1 encoded like maxEnc)
+	// and TraceID of the slowest call recorded with ObserveExemplar.
+	// Written with independent atomics — a reader racing two writers can
+	// pair one writer's duration with the other's trace, both of which
+	// still name real calls in the same bucket, so the race is benign.
+	exDur   [numBuckets]atomic.Int64
+	exTrace [numBuckets]atomic.Uint64
 }
 
 // bucketOf maps a duration to its power-of-two microsecond bucket.
@@ -127,6 +134,44 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketOf(d)].Add(1)
 }
 
+// ObserveExemplar records one duration and, when traceID is nonzero,
+// competes it for the bucket's exemplar slot: the slot keeps the
+// TraceID of the slowest recent call in that bucket, so a scraper can
+// jump from "p99.9 regressed" straight to a causal trace. Alloc-free
+// and lock-free like Observe; losing a slot race just keeps another
+// real call from the same bucket.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(d)
+	if traceID == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	b := bucketOf(d)
+	enc := int64(d) + 1
+	for {
+		cur := h.exDur[b].Load()
+		if cur >= enc {
+			return
+		}
+		if h.exDur[b].CompareAndSwap(cur, enc) {
+			h.exTrace[b].Store(traceID)
+			return
+		}
+	}
+}
+
+// Exemplar names the slowest recent call of one histogram bucket.
+type Exemplar struct {
+	Bucket  int
+	Dur     time.Duration
+	TraceID uint64
+}
+
 // HistStats is a snapshot of a histogram.
 type HistStats struct {
 	Count uint64
@@ -136,9 +181,23 @@ type HistStats struct {
 	Mean  time.Duration
 	P50   time.Duration
 	P99   time.Duration
+	P999  time.Duration
 	// Buckets is the raw power-of-two µs bucket occupancy (see
 	// BucketBound); exposed so scrapers can re-export the full shape.
 	Buckets [numBuckets]uint64
+	// Exemplars lists, sparsely, the buckets that hold an exemplar
+	// (recorded via ObserveExemplar), slowest-bucket last.
+	Exemplars []Exemplar
+}
+
+// Exemplar returns the exemplar from the highest occupied bucket — the
+// TraceID of the slowest call the histogram has seen — or false if no
+// exemplar was ever attached.
+func (s *HistStats) Exemplar() (Exemplar, bool) {
+	if len(s.Exemplars) == 0 {
+		return Exemplar{}, false
+	}
+	return s.Exemplars[len(s.Exemplars)-1], true
 }
 
 // Snapshot computes summary statistics. Percentiles are bucket-upper-
@@ -160,13 +219,84 @@ func (h *Histogram) Snapshot() HistStats {
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	for i := range h.exDur {
+		if enc := h.exDur[i].Load(); enc > 0 {
+			s.Exemplars = append(s.Exemplars, Exemplar{
+				Bucket:  i,
+				Dur:     time.Duration(enc - 1),
+				TraceID: h.exTrace[i].Load(),
+			})
+		}
+	}
 	if s.Count == 0 {
 		return s
 	}
 	s.Mean = s.Sum / time.Duration(s.Count)
 	s.P50 = s.percentile(0.50)
 	s.P99 = s.percentile(0.99)
+	s.P999 = s.percentile(0.999)
 	return s
+}
+
+// Recompute rederives Mean and the percentiles from Count, Sum, and
+// Buckets — for stats assembled from a wire snapshot or a Merge rather
+// than a live histogram. A zero Max is approximated by the bound of
+// the highest occupied bucket so percentile fallback stays sane.
+func (s *HistStats) Recompute() {
+	if s.Count == 0 {
+		return
+	}
+	s.Mean = s.Sum / time.Duration(s.Count)
+	if s.Max == 0 {
+		for i := len(s.Buckets) - 1; i >= 0; i-- {
+			if s.Buckets[i] > 0 {
+				if b := BucketBound(i); b > 0 {
+					s.Max = b
+				} else {
+					s.Max = BucketBound(i-1) * 2
+				}
+				break
+			}
+		}
+	}
+	s.P50 = s.percentile(0.50)
+	s.P99 = s.percentile(0.99)
+	s.P999 = s.percentile(0.999)
+}
+
+// Merge folds o into s (summing counts, buckets, and exemplar sets)
+// and recomputes the derived statistics — how the observability plane
+// combines one histogram's snapshots from several hosts.
+func (s *HistStats) Merge(o HistStats) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Min > 0 && (s.Min == 0 || o.Min < s.Min) {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	// Keep, per bucket, the slower exemplar.
+	for _, ex := range o.Exemplars {
+		replaced := false
+		for i, cur := range s.Exemplars {
+			if cur.Bucket == ex.Bucket {
+				if ex.Dur > cur.Dur {
+					s.Exemplars[i] = ex
+				}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			s.Exemplars = append(s.Exemplars, ex)
+		}
+	}
+	sort.Slice(s.Exemplars, func(i, j int) bool { return s.Exemplars[i].Bucket < s.Exemplars[j].Bucket })
+	s.Recompute()
 }
 
 func (s *HistStats) percentile(q float64) time.Duration {
@@ -198,6 +328,10 @@ func (h *Histogram) Reset() {
 	h.maxEnc.Store(0)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+	}
+	for i := range h.exDur {
+		h.exDur[i].Store(0)
+		h.exTrace[i].Store(0)
 	}
 }
 
@@ -246,6 +380,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	v, _ := r.hists.LoadOrStore(name, &Histogram{})
 	return v.(*Histogram)
+}
+
+// CounterValue reads the named counter without creating it (0 when
+// absent) — for query paths that must not pollute the registry.
+func (r *Registry) CounterValue(name string) uint64 {
+	if v, ok := r.counts.Load(name); ok {
+		return v.(*Counter).Value()
+	}
+	return 0
+}
+
+// HistogramSnapshot reads the named histogram without creating it
+// (zero stats when absent).
+func (r *Registry) HistogramSnapshot(name string) HistStats {
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram).Snapshot()
+	}
+	return HistStats{}
 }
 
 // Counters returns a stable-ordered snapshot of all counter values.

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSource is a one-table LQL source for parser/evaluator tests.
+type fakeSource struct {
+	name string
+	t    *Table
+}
+
+func (f *fakeSource) Tables() []string { return []string{f.name} }
+func (f *fakeSource) Table(name string) (*Table, error) {
+	if name != f.name {
+		return nil, errUnknownTable(name)
+	}
+	return f.t, nil
+}
+
+func errUnknownTable(name string) error {
+	return &unknownTableError{name}
+}
+
+type unknownTableError struct{ name string }
+
+func (e *unknownTableError) Error() string { return "unknown table " + e.name }
+
+func objectsFixture() *fakeSource {
+	return &fakeSource{
+		name: "objects",
+		t: &Table{
+			Cols: []string{"loid", "host", "calls", "p999", "active"},
+			Rows: [][]Value{
+				{Str("L256.1"), Str("host/1"), Num(100), Dur(2 * time.Millisecond), Bool(true)},
+				{Str("L256.2"), Str("host/2"), Num(900), Dur(9 * time.Millisecond), Bool(true)},
+				{Str("L256.3"), Str("host/1"), Num(50), Dur(500 * time.Microsecond), Bool(false)},
+				{Str("L300.1"), Str("host/3"), Num(400), Dur(4 * time.Millisecond), Bool(true)},
+			},
+		},
+	}
+}
+
+func TestLQLSelectStar(t *testing.T) {
+	res, err := RunQuery(objectsFixture(), "select * from objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 5 || len(res.Rows) != 4 {
+		t.Fatalf("got %d cols, %d rows", len(res.Cols), len(res.Rows))
+	}
+}
+
+func TestLQLProjectionAndCaseInsensitivity(t *testing.T) {
+	res, err := RunQuery(objectsFixture(), "SELECT Loid, CALLS FROM Objects LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 || res.Cols[0] != "loid" || res.Cols[1] != "calls" {
+		t.Fatalf("bad projection: %v", res.Cols)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("limit ignored: %d rows", len(res.Rows))
+	}
+}
+
+func TestLQLWhereDurationLiteral(t *testing.T) {
+	res, err := RunQuery(objectsFixture(), "select loid from objects where p999 > 3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 slow objects, got %d", len(res.Rows))
+	}
+}
+
+func TestLQLWhereBoolAndBareIdent(t *testing.T) {
+	res, err := RunQuery(objectsFixture(), "select loid from objects where active = true and host = host/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "L256.1" {
+		t.Fatalf("got %+v", res.Rows)
+	}
+}
+
+func TestLQLWhereOrParensLike(t *testing.T) {
+	res, err := RunQuery(objectsFixture(),
+		"select loid from objects where (loid like 'L300%' or calls >= 900) and active != false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want L256.2 and L300.1, got %+v", res.Rows)
+	}
+}
+
+func TestLQLOrderByDescLimit(t *testing.T) {
+	res, err := RunQuery(objectsFixture(), "select loid, p999 from objects order by p999 desc limit 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "L256.2" || res.Rows[1][0].S != "L300.1" {
+		t.Fatalf("bad order: %+v", res.Rows)
+	}
+}
+
+func TestLQLOrderByAscIsDefault(t *testing.T) {
+	res, err := RunQuery(objectsFixture(), "select calls from objects order by calls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].F != 50 || res.Rows[3][0].F != 900 {
+		t.Fatalf("bad order: %+v", res.Rows)
+	}
+}
+
+func TestLQLErrors(t *testing.T) {
+	for _, q := range []string{
+		"drop table objects",
+		"select loid objects",
+		"select loid from objects where",
+		"select loid from objects where calls ! 5",
+		"select loid from objects where nosuch = 1",
+		"select nosuch from objects",
+		"select loid from objects order by nosuch",
+		"select loid from objects limit -1",
+		"select loid from objects trailing",
+		"select loid from objects where loid = 'unterminated",
+		"select loid from nosuchtable",
+	} {
+		if _, err := RunQuery(objectsFixture(), q); err == nil {
+			t.Errorf("query %q: want error, got none", q)
+		}
+	}
+}
+
+func TestLQLLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"host/1", "host%", true},
+		{"host/1", "%1", true},
+		{"host/1", "%os%", true},
+		{"host/1", "host/1", true},
+		{"host/1", "HOST%", true},
+		{"host/1", "%2", false},
+		{"host/1", "x%", false},
+		{"abcabc", "a%b%c", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestTableMarshalRoundtrip(t *testing.T) {
+	at := time.Unix(0, 1723111111000000000)
+	in := &Table{
+		Cols: []string{"s", "n", "d", "t", "b"},
+		Rows: [][]Value{
+			{Str("hello"), Num(3.5), Dur(1500 * time.Microsecond), TimeOf(at), Bool(true)},
+			{Str(""), Num(-1), Dur(0), TimeOf(at), Bool(false)},
+		},
+	}
+	out, err := UnmarshalTable(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cols) != 5 || len(out.Rows) != 2 {
+		t.Fatalf("shape mismatch: %v / %d rows", out.Cols, len(out.Rows))
+	}
+	for ri, row := range in.Rows {
+		for ci, v := range row {
+			if Compare(out.Rows[ri][ci], v) != 0 {
+				t.Errorf("cell [%d][%d]: got %v want %v", ri, ci, out.Rows[ri][ci], v)
+			}
+		}
+	}
+	if _, err := UnmarshalTable(out.Marshal()[:5]); err == nil {
+		t.Error("truncated table should fail to decode")
+	}
+}
+
+func TestTableFormatAndJSON(t *testing.T) {
+	tab := objectsFixture().t
+	text := tab.Format()
+	if !strings.Contains(text, "loid") || !strings.Contains(text, "L256.2") {
+		t.Fatalf("Format missing content:\n%s", text)
+	}
+	js := string(tab.JSON())
+	if !strings.Contains(js, `"calls": 900`) || !strings.Contains(js, `"active": false`) {
+		t.Fatalf("JSON missing typed values:\n%s", js)
+	}
+}

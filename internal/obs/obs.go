@@ -1,0 +1,139 @@
+// Package obs is the cluster observability plane. PR 3 gave each
+// process tracing, metrics, and a debug surface; obs makes the cluster
+// itself queryable: hosts piggyback compact telemetry reports on the
+// load-report heartbeat, the Magistrate's plane keeps a ring-buffered
+// timeline of per-host epochs and an OPR generation history, a flight
+// recorder collects notable events (migrations, failovers, breaker
+// transitions, parks/forwards, slow calls), and LQL — a small select
+// language — answers questions like "where is object X and what is its
+// p99.9" over the merged view. This is the monitoring layer that
+// ABS-NET-style adaptation needs (PAPERS.md) and the ROADMAP's
+// "queryable control plane" open item.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds — the flight-recorder taxonomy. Kinds are plain strings
+// so jurisdiction-specific layers can add their own without touching
+// this package; these constants name the ones the runtime emits.
+const (
+	KindMigrate    = "migrate"    // live-migration phase transitions
+	KindFailover   = "failover"   // HostFailed recovery actions
+	KindBreaker    = "breaker"    // health breaker state changes
+	KindPark       = "park"       // arrival parked during a drain
+	KindForward    = "forward"    // parked/tombstoned arrival forwarded
+	KindSlowCall   = "slowcall"   // serve latency over the threshold
+	KindActivate   = "activate"   // object activation/placement
+	KindCheckpoint = "checkpoint" // OPR generation filed
+	KindRebalance  = "rebalance"  // rebalancer decisions
+)
+
+// Event is one flight-recorder entry.
+type Event struct {
+	Seq     uint64    // per-recorder sequence number, 1-based
+	At      time.Time // local clock of the recording host
+	Host    string    // recording process/host name
+	Kind    string    // one of the Kind* constants
+	Object  string    // subject (LOID text or component label), may be ""
+	Detail  string    // human-oriented one-liner
+	TraceID uint64    // causal trace, 0 if none
+}
+
+func (e Event) String() string {
+	id := ""
+	if e.TraceID != 0 {
+		id = fmt.Sprintf(" trace=%016x", e.TraceID)
+	}
+	return fmt.Sprintf("%s %s %s %s %s%s",
+		e.At.Format("15:04:05.000"), e.Host, e.Kind, e.Object, e.Detail, id)
+}
+
+// defaultRingSize is the per-host flight-recorder capacity. Events are
+// rare (phase transitions, failures, slow calls), so a thousand entries
+// is minutes-to-hours of history.
+const defaultRingSize = 1024
+
+// Recorder is a lock-free ring of flight-recorder events. Record is an
+// atomic sequence claim plus a pointer store — writers never block each
+// other or readers — and a nil *Recorder discards, so runtime hooks can
+// stay unconditionally wired. A reader racing a lapping writer may see
+// a slightly newer event in an old slot; Events sorts by Seq so the
+// result is still a coherent suffix of history.
+type Recorder struct {
+	host string
+	seq  atomic.Uint64
+	ring []atomic.Pointer[Event]
+}
+
+// NewRecorder builds a recorder stamping events with the given host
+// name. size is rounded up to at least 16 (0 means default).
+func NewRecorder(host string, size int) *Recorder {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	if size < 16 {
+		size = 16
+	}
+	return &Recorder{host: host, ring: make([]atomic.Pointer[Event], size)}
+}
+
+// Record appends one event. Safe for concurrent use; nil-receiver
+// safe. The event's Seq and At are assigned here.
+func (r *Recorder) Record(kind, object, detail string, traceID uint64) {
+	if r == nil {
+		return
+	}
+	e := &Event{
+		Seq:     r.seq.Add(1),
+		At:      time.Now(),
+		Host:    r.host,
+		Kind:    kind,
+		Object:  object,
+		Detail:  detail,
+		TraceID: traceID,
+	}
+	r.ring[(e.Seq-1)%uint64(len(r.ring))].Store(e)
+}
+
+// Seq returns the number of events ever recorded.
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Events returns the retained history in sequence order.
+func (r *Recorder) Events() []Event {
+	return r.EventsSince(0)
+}
+
+// EventsSince returns retained events with Seq > since, in sequence
+// order — the piggyback path uses it to ship only what the Magistrate
+// has not yet seen.
+func (r *Recorder) EventsSince(since uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.ring))
+	for i := range r.ring {
+		if e := r.ring[i].Load(); e != nil && e.Seq > since {
+			out = append(out, *e)
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+func sortEvents(es []Event) {
+	// Insertion sort: rings are small and nearly ordered.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].Seq > es[j].Seq; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultSlowCall is the serve latency above which a call is logged to
+// the flight recorder.
+const DefaultSlowCall = 10 * time.Millisecond
+
+// NodeObserver implements rt.Observer: it turns serve-path completions
+// into SLO-grade per-method and per-component latency histograms (with
+// trace exemplars) and feeds the flight recorder. One observer is
+// shared by every node of a process.
+//
+// ServeDone runs on dispatch goroutines, so it allocates nothing in
+// steady state: histogram handles are interned in sync.Maps keyed by
+// the (wire-interned) method and component strings, and the histograms
+// themselves are lock-free.
+type NodeObserver struct {
+	reg  *metrics.Registry
+	rec  *Recorder
+	slow time.Duration
+
+	methods sync.Map // method string -> *metrics.Histogram ("method/<m>")
+	comps   sync.Map // component string -> *metrics.Histogram ("lat/<c>")
+}
+
+// NewNodeObserver builds an observer recording into reg and rec.
+// slow <= 0 takes DefaultSlowCall.
+func NewNodeObserver(reg *metrics.Registry, rec *Recorder, slow time.Duration) *NodeObserver {
+	if reg == nil {
+		reg = metrics.Nop
+	}
+	if slow <= 0 {
+		slow = DefaultSlowCall
+	}
+	return &NodeObserver{reg: reg, rec: rec, slow: slow}
+}
+
+// Recorder returns the observer's flight recorder.
+func (ob *NodeObserver) Recorder() *Recorder { return ob.rec }
+
+func (ob *NodeObserver) methodHist(m string) *metrics.Histogram {
+	if v, ok := ob.methods.Load(m); ok {
+		return v.(*metrics.Histogram)
+	}
+	h := ob.reg.Histogram("method/" + m)
+	ob.methods.Store(m, h)
+	return h
+}
+
+func (ob *NodeObserver) compHist(c string) *metrics.Histogram {
+	if v, ok := ob.comps.Load(c); ok {
+		return v.(*metrics.Histogram)
+	}
+	h := ob.reg.Histogram("lat/" + c)
+	ob.comps.Store(c, h)
+	return h
+}
+
+// ServeDone records one completed dispatch (rt.Observer).
+func (ob *NodeObserver) ServeDone(component, method string, d time.Duration, traceID uint64) {
+	ob.methodHist(method).ObserveExemplar(d, traceID)
+	ob.compHist(component).ObserveExemplar(d, traceID)
+	if d >= ob.slow {
+		// Slow calls are rare by construction; the detail string
+		// allocation is off the common path.
+		ob.rec.Record(KindSlowCall, component, method+" took "+d.Round(time.Microsecond).String(), traceID)
+	}
+}
+
+// Note records a flight-recorder event (rt.Observer).
+func (ob *NodeObserver) Note(kind, object, detail string, traceID uint64) {
+	ob.rec.Record(kind, object, detail, traceID)
+}
+
+// formatTrace renders a TraceID the way /debug/traces expects it.
+func formatTrace(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	s := strconv.FormatUint(id, 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}

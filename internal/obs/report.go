@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Report is the compact telemetry block a host piggybacks on its
+// load-report heartbeat: changed counters (absolute values — the plane
+// differences them), changed histogram snapshots (sparse nonzero
+// buckets plus exemplars), and flight-recorder events the Magistrate
+// has not yet seen. It is delta-filtered at the sender so an idle host
+// ships a few bytes per epoch.
+type Report struct {
+	Counters []metrics.NamedValue
+	Hists    []HistSnap
+	Events   []Event
+}
+
+// HistSnap is one histogram's wire snapshot.
+type HistSnap struct {
+	Name      string
+	Count     uint64
+	Sum       time.Duration
+	Buckets   []BucketCount
+	Exemplars []metrics.Exemplar
+}
+
+// BucketCount is one occupied histogram bucket.
+type BucketCount struct {
+	Bucket int
+	Count  uint64
+}
+
+// Stats converts the snapshot back into metrics.HistStats (percentiles
+// recomputed from the shipped buckets).
+func (hs *HistSnap) Stats() metrics.HistStats {
+	var s metrics.HistStats
+	s.Count = hs.Count
+	s.Sum = hs.Sum
+	for _, bc := range hs.Buckets {
+		if bc.Bucket >= 0 && bc.Bucket < len(s.Buckets) {
+			s.Buckets[bc.Bucket] = bc.Count
+		}
+	}
+	s.Exemplars = append(s.Exemplars, hs.Exemplars...)
+	s.Recompute()
+	return s
+}
+
+// maxReportEvents caps the events section of one report; a host that
+// logged more since the last heartbeat ships the newest ones (the
+// older remain readable on the host's own /debug/events).
+const maxReportEvents = 64
+
+const reportVersion = 1
+
+func putU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func putStr(b []byte, s string) []byte {
+	b = putU64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type reportReader struct {
+	b   []byte
+	err error
+}
+
+func (r *reportReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = fmt.Errorf("obs: truncated report")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[:8])
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reportReader) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)) {
+		r.err = fmt.Errorf("obs: truncated report string")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// Marshal encodes the report.
+func (rp *Report) Marshal() []byte {
+	b := []byte{reportVersion}
+	b = putU64(b, uint64(len(rp.Counters)))
+	for _, c := range rp.Counters {
+		b = putStr(b, c.Name)
+		b = putU64(b, c.Value)
+	}
+	b = putU64(b, uint64(len(rp.Hists)))
+	for _, h := range rp.Hists {
+		b = putStr(b, h.Name)
+		b = putU64(b, h.Count)
+		b = putU64(b, uint64(h.Sum))
+		b = putU64(b, uint64(len(h.Buckets)))
+		for _, bc := range h.Buckets {
+			b = putU64(b, uint64(bc.Bucket))
+			b = putU64(b, bc.Count)
+		}
+		b = putU64(b, uint64(len(h.Exemplars)))
+		for _, ex := range h.Exemplars {
+			b = putU64(b, uint64(ex.Bucket))
+			b = putU64(b, uint64(ex.Dur))
+			b = putU64(b, ex.TraceID)
+		}
+	}
+	b = putU64(b, uint64(len(rp.Events)))
+	for _, e := range rp.Events {
+		b = putU64(b, e.Seq)
+		b = putU64(b, uint64(e.At.UnixNano()))
+		b = putStr(b, e.Host)
+		b = putStr(b, e.Kind)
+		b = putStr(b, e.Object)
+		b = putStr(b, e.Detail)
+		b = putU64(b, e.TraceID)
+	}
+	return b
+}
+
+// maxReportSection bounds every length prefix in a report so a corrupt
+// frame cannot drive a huge allocation.
+const maxReportSection = 1 << 20
+
+// UnmarshalReport decodes a report produced by Marshal.
+func UnmarshalReport(b []byte) (*Report, error) {
+	if len(b) == 0 || b[0] != reportVersion {
+		return nil, fmt.Errorf("obs: bad report version")
+	}
+	r := &reportReader{b: b[1:]}
+	rp := &Report{}
+	nc := r.u64()
+	if nc > maxReportSection {
+		return nil, fmt.Errorf("obs: absurd counter count %d", nc)
+	}
+	for i := uint64(0); i < nc && r.err == nil; i++ {
+		name := r.str()
+		rp.Counters = append(rp.Counters, metrics.NamedValue{Name: name, Value: r.u64()})
+	}
+	nh := r.u64()
+	if nh > maxReportSection {
+		return nil, fmt.Errorf("obs: absurd histogram count %d", nh)
+	}
+	for i := uint64(0); i < nh && r.err == nil; i++ {
+		var h HistSnap
+		h.Name = r.str()
+		h.Count = r.u64()
+		h.Sum = time.Duration(r.u64())
+		nb := r.u64()
+		if nb > maxReportSection {
+			return nil, fmt.Errorf("obs: absurd bucket count %d", nb)
+		}
+		for j := uint64(0); j < nb && r.err == nil; j++ {
+			h.Buckets = append(h.Buckets, BucketCount{Bucket: int(r.u64()), Count: r.u64()})
+		}
+		ne := r.u64()
+		if ne > maxReportSection {
+			return nil, fmt.Errorf("obs: absurd exemplar count %d", ne)
+		}
+		for j := uint64(0); j < ne && r.err == nil; j++ {
+			h.Exemplars = append(h.Exemplars, metrics.Exemplar{
+				Bucket:  int(r.u64()),
+				Dur:     time.Duration(r.u64()),
+				TraceID: r.u64(),
+			})
+		}
+		rp.Hists = append(rp.Hists, h)
+	}
+	nev := r.u64()
+	if nev > maxReportSection {
+		return nil, fmt.Errorf("obs: absurd event count %d", nev)
+	}
+	for i := uint64(0); i < nev && r.err == nil; i++ {
+		var e Event
+		e.Seq = r.u64()
+		e.At = time.Unix(0, int64(r.u64()))
+		e.Host = r.str()
+		e.Kind = r.str()
+		e.Object = r.str()
+		e.Detail = r.str()
+		e.TraceID = r.u64()
+		rp.Events = append(rp.Events, e)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return rp, nil
+}
+
+// Telemetry builds the per-heartbeat reports one host piggybacks on
+// ReportLoad. It remembers what it last shipped so unchanged counters
+// and histograms (and already-sent events) are filtered out.
+type Telemetry struct {
+	reg *metrics.Registry
+	rec *Recorder
+
+	mu        sync.Mutex
+	sentCount map[string]uint64 // counter name -> last shipped value
+	sentHist  map[string]uint64 // hist name -> last shipped Count
+	sentSeq   uint64            // events shipped through this Seq
+}
+
+// NewTelemetry builds a sender reading reg and rec. Configure it on a
+// host ONLY when its registry is distinct from the plane's own —
+// in-process (core-mode) hosts share the plane's registry and would
+// double-count themselves.
+func NewTelemetry(reg *metrics.Registry, rec *Recorder) *Telemetry {
+	return &Telemetry{
+		reg:       reg,
+		rec:       rec,
+		sentCount: make(map[string]uint64),
+		sentHist:  make(map[string]uint64),
+	}
+}
+
+// Report assembles and encodes the next delta report; nil-receiver
+// safe (returns nil, meaning "no telemetry" on the wire).
+func (t *Telemetry) Report() []byte {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var rp Report
+	for _, c := range t.reg.Counters() {
+		if t.sentCount[c.Name] != c.Value {
+			t.sentCount[c.Name] = c.Value
+			rp.Counters = append(rp.Counters, c)
+		}
+	}
+	for _, nh := range t.reg.Histograms() {
+		if t.sentHist[nh.Name] == nh.Stats.Count {
+			continue
+		}
+		t.sentHist[nh.Name] = nh.Stats.Count
+		hs := HistSnap{
+			Name:      nh.Name,
+			Count:     nh.Stats.Count,
+			Sum:       nh.Stats.Sum,
+			Exemplars: nh.Stats.Exemplars,
+		}
+		for i, n := range nh.Stats.Buckets {
+			if n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketCount{Bucket: i, Count: n})
+			}
+		}
+		rp.Hists = append(rp.Hists, hs)
+	}
+	evs := t.rec.EventsSince(t.sentSeq)
+	if len(evs) > maxReportEvents {
+		evs = evs[len(evs)-maxReportEvents:]
+	}
+	if len(evs) > 0 {
+		t.sentSeq = evs[len(evs)-1].Seq
+		rp.Events = evs
+	}
+	return rp.Marshal()
+}

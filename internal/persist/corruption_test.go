@@ -216,4 +216,3 @@ func TestFileStoreReadsLegacyRecords(t *testing.T) {
 		t.Errorf("legacy Get = %+v, %v", got, err)
 	}
 }
-

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buf"
 	"repro/internal/loid"
@@ -53,6 +54,11 @@ type Node struct {
 	// callers; nil (the default) disables tracing at the cost of one
 	// atomic load per call.
 	tracer atomic.Pointer[trace.Tracer]
+
+	// observer feeds the observability plane (per-method latency,
+	// flight-recorder events); nil (the default) disables it at the
+	// cost of one atomic load per serve.
+	observer atomic.Pointer[Observer]
 
 	addr oa.Address // cached: ReplyTo of every outgoing request
 
@@ -127,6 +133,38 @@ func (n *Node) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
 
 // Tracer returns the installed tracer (nil when tracing is disabled).
 func (n *Node) Tracer() *trace.Tracer { return n.tracer.Load() }
+
+// Observer receives serve-path completions and notable runtime events
+// for the observability plane (internal/obs implements it). Both
+// methods must be cheap and non-blocking: they run on dispatch
+// goroutines.
+type Observer interface {
+	// ServeDone reports one completed dispatch on the named component
+	// (metric label or node name) with its method, wall time, and the
+	// request's TraceID (0 when untraced).
+	ServeDone(component, method string, d time.Duration, traceID uint64)
+	// Note records a flight-recorder event (park, forward, ...).
+	Note(kind, object, detail string, traceID uint64)
+}
+
+// SetObserver installs the node's observability hook; nil disables it.
+// Like tracers, observers are typically shared by every node of a
+// process so the plane sees one merged stream.
+func (n *Node) SetObserver(ob Observer) {
+	if ob == nil {
+		n.observer.Store(nil)
+		return
+	}
+	n.observer.Store(&ob)
+}
+
+// Observer returns the installed observer (nil when disabled).
+func (n *Node) Observer() Observer {
+	if p := n.observer.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Spawn activates an object on this node: the impl becomes reachable
 // at the node's address under l. label names the object in metrics

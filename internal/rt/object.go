@@ -166,12 +166,21 @@ func (o *Object) serve(f *wire.Frame) {
 		o.cReq.Inc()
 	}
 	method := f.Method()
+	tid := f.TraceID()
+	// An installed observer gets per-method serve latency; when absent
+	// (the default, and all benchmarks) the cost is one atomic load.
+	var ob Observer
+	var start time.Time
+	if p := o.node.observer.Load(); p != nil {
+		ob = *p
+		start = time.Now()
+	}
 	// A traced request grows a serve span covering the whole method
 	// execution on this object; children of a sampled trace are always
 	// recorded so the trace is complete across hops. Untraced messages
 	// pay only the TraceID comparison.
 	var span *trace.Span
-	if tid := f.TraceID(); tid != 0 {
+	if tid != 0 {
 		span = o.node.tracer.Load().Child(
 			trace.SpanContext{TraceID: tid, SpanID: f.SpanID()},
 			"serve", method, o.component())
@@ -187,6 +196,9 @@ func (o *Object) serve(f *wire.Frame) {
 		if f.Kind == wire.KindRequest && f.HasReplyTo() {
 			o.node.replyFrame(f, wire.ErrDeadlineExceeded, "deadline expired before dispatch", nil)
 		}
+		if ob != nil {
+			ob.ServeDone(o.component(), method, time.Since(start), tid)
+		}
 		return
 	}
 	env := f.Env()
@@ -199,6 +211,9 @@ func (o *Object) serve(f *wire.Frame) {
 	}
 	if f.Kind == wire.KindRequest && f.HasReplyTo() {
 		o.node.replyFrame(f, code, errText, results)
+	}
+	if ob != nil {
+		ob.ServeDone(o.component(), method, time.Since(start), tid)
 	}
 }
 
@@ -216,6 +231,12 @@ func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result
 	if o.cReq != nil {
 		o.cReq.Inc()
 	}
+	var ob Observer
+	var start time.Time
+	if p := o.node.observer.Load(); p != nil {
+		ob = *p
+		start = time.Now()
+	}
 	var span *trace.Span
 	if env.TraceID != 0 {
 		span = o.node.tracer.Load().Child(
@@ -227,6 +248,9 @@ func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result
 			span.Event("deadline", "expired before dispatch")
 			span.Finish(wire.ErrDeadlineExceeded.String())
 		}
+		if ob != nil {
+			ob.ServeDone(o.component(), method, time.Since(start), env.TraceID)
+		}
 		return &Result{Code: wire.ErrDeadlineExceeded, ErrText: "deadline expired before dispatch", From: o.node.Element()}
 	}
 	code, errText, results := o.safeDispatch(method, env, args, span)
@@ -235,6 +259,9 @@ func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result
 			span.Event("error", errText)
 		}
 		span.Finish(code.String())
+	}
+	if ob != nil {
+		ob.ServeDone(o.component(), method, time.Since(start), env.TraceID)
 	}
 	return &Result{Code: code, ErrText: errText, Results: results, From: o.node.Element()}
 }

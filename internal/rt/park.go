@@ -231,6 +231,9 @@ func (n *Node) handleGated(g *gate, f *wire.Frame, b *buf.Buffer) bool {
 	g.q = append(g.q, f)
 	n.cParked.Inc()
 	n.gmu.Unlock()
+	if ob := n.Observer(); ob != nil {
+		ob.Note("park", f.Target().String(), f.Method(), f.TraceID())
+	}
 	return true
 }
 
@@ -249,6 +252,9 @@ func (n *Node) forwardFrame(f *wire.Frame, to oa.Element) {
 	_ = n.ep.SendBuf(to, fb)
 	fb.Release()
 	n.cForwarded.Inc()
+	if ob := n.Observer(); ob != nil {
+		ob.Note("forward", f.Target().String(), f.Method(), f.TraceID())
+	}
 }
 
 // bounceParked answers a parked frame with a retryable verdict and

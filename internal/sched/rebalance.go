@@ -10,6 +10,7 @@ import (
 	"repro/internal/loid"
 	"repro/internal/magistrate"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Rebalancer is the placement policy loop the paper leaves to
@@ -36,6 +37,7 @@ type Rebalancer struct {
 
 	cl  *magistrate.Client
 	reg *metrics.Registry
+	rec *obs.Recorder // flight recorder for move decisions; nil when off
 
 	mu        sync.Mutex
 	hotRounds map[loid.LOID]int
@@ -60,6 +62,20 @@ func NewRebalancer(cl *magistrate.Client, reg *metrics.Registry) *Rebalancer {
 		reg:              reg,
 		hotRounds:        make(map[loid.LOID]int),
 	}
+}
+
+// SetRecorder points the rebalancer's decision log at a flight
+// recorder (nil disables).
+func (r *Rebalancer) SetRecorder(rec *obs.Recorder) {
+	r.mu.Lock()
+	r.rec = rec
+	r.mu.Unlock()
+}
+
+func (r *Rebalancer) recorder() *obs.Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rec
 }
 
 // Start launches the background sampling loop. Idempotent while
@@ -192,9 +208,13 @@ func (r *Rebalancer) RoundNow(ctx context.Context) (int, error) {
 		obj := residents[0].Object
 		if err := r.cl.Migrate(ctx, obj, dest); err != nil {
 			r.reg.Counter("reb/move_failed").Inc()
+			r.recorder().Record(obs.KindRebalance, obj.String(),
+				fmt.Sprintf("move to %v FAILED: %v", dest, err), 0)
 			return moves, fmt.Errorf("sched: rebalance %v -> %v: %w", obj, dest, err)
 		}
 		r.reg.Counter("reb/moves").Inc()
+		r.recorder().Record(obs.KindRebalance, obj.String(),
+			fmt.Sprintf("moved off hot %v to %v", hot.Host, dest), 0)
 		moves++
 		r.mu.Lock()
 		delete(r.hotRounds, hot.Host.ID())

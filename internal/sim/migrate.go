@@ -45,7 +45,9 @@ func (s *Sim) NewRebalancer(j int) (*sched.Rebalancer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sched.NewRebalancer(mc, s.Reg), nil
+	rb := sched.NewRebalancer(mc, s.Reg)
+	rb.SetRecorder(s.Plane.Recorder())
+	return rb, nil
 }
 
 // PlacementCounts returns, per host index of jurisdiction j, how many

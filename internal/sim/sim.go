@@ -19,6 +19,7 @@ import (
 	"repro/internal/implreg"
 	"repro/internal/loid"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -120,6 +121,13 @@ type Config struct {
 	// DataDir, when set, makes the deployment durable (on-disk OPRs and
 	// a restorable system snapshot) — see core.Options.DataDir.
 	DataDir string
+	// Obs, when true, builds the observability plane: per-method SLO
+	// histograms with trace exemplars, a flight recorder on every node,
+	// and LQL queries over the Magistrates' live metadata (Sim.Query).
+	Obs bool
+	// SlowCall overrides the plane's slow-call threshold (0 keeps
+	// obs.DefaultSlowCall); only meaningful with Obs.
+	SlowCall time.Duration
 }
 
 func (c *Config) fill() {
@@ -163,6 +171,10 @@ type Sim struct {
 	// Tracer is non-nil when Config.TraceSampleEvery > 0; every node in
 	// the deployment records spans into it.
 	Tracer *trace.Tracer
+	// Plane is non-nil when Config.Obs is set: the deployment's
+	// observability plane (LQL queries, flight recorder, SLO
+	// histograms).
+	Plane *obs.Plane
 
 	rng *rand.Rand
 	mu  sync.Mutex
@@ -179,6 +191,15 @@ func Build(cfg Config) (*Sim, error) {
 	if cfg.TraceSampleEvery > 0 {
 		tracer = trace.New(trace.Config{SampleEvery: cfg.TraceSampleEvery})
 	}
+	var plane *obs.Plane
+	if cfg.Obs {
+		plane = obs.NewPlane(obs.Config{
+			Host:     "sim",
+			Registry: reg,
+			Tracer:   tracer,
+			SlowCall: cfg.SlowCall,
+		})
+	}
 	sys, err := core.Boot(core.Options{
 		Registry:             reg,
 		Impls:                impls,
@@ -194,11 +215,12 @@ func Build(cfg Config) (*Sim, error) {
 		CheckpointEvery:      cfg.CheckpointEvery,
 		LoadReportEvery:      cfg.LoadReportEvery,
 		DataDir:              cfg.DataDir,
+		Obs:                  plane,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Sim{Config: cfg, Sys: sys, Reg: reg, Tracer: tracer, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s := &Sim{Config: cfg, Sys: sys, Reg: reg, Tracer: tracer, Plane: plane, rng: rand.New(rand.NewSource(cfg.Seed))}
 
 	var allMags []loid.LOID
 	for _, j := range sys.Jurisdictions {
@@ -251,6 +273,12 @@ func (s *Sim) ResetMetrics() {
 	for _, c := range s.Clients {
 		c.Cache().ResetStats()
 	}
+}
+
+// Query evaluates one LQL query on the deployment's observability
+// plane (Config.Obs must be set).
+func (s *Sim) Query(q string) (*obs.Table, error) {
+	return s.Plane.Query(q)
 }
 
 // Intn is the sim's seeded randomness.
