@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test migrate-test obs-test
+.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test migrate-test obs-test store-test
 
 all: check
 
@@ -53,7 +53,7 @@ obs-test:
 # so regressions are diffable in review.
 BENCH_JSON = BENCH_$(shell date -u +%Y-%m-%d).json
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkParallelInvoke|BenchmarkE1BindingPath' \
+	$(GO) test -run xxx -bench 'BenchmarkParallelInvoke|BenchmarkE1BindingPath|BenchmarkCheckpointStorm' \
 		-benchmem -benchtime=2s . | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
 	$(GO) test -run xxx -bench . -benchmem -benchtime=2s .
@@ -62,10 +62,21 @@ bench:
 bench-invoke:
 	$(GO) test -run xxx -bench 'BenchmarkParallelInvoke|BenchmarkE1BindingPath' -benchmem -benchtime=2s .
 
-# Short fuzz pass over the wire decoder (v2/v3/v4 frames): enough to
-# catch a freshly introduced parser panic without tying up CI.
+# Storage engine gauntlet: the fault-injected recovery matrix (torn
+# writes, fsync errors, crash tails, mid-compaction crashes) and the
+# backend conformance suite under the race detector, then the chaos
+# tests driven over the segment backend, and a quick E21 run.
+store-test:
+	$(GO) test -race -run 'TestSegment|TestBackendConformance|TestFileStoreDirSync' ./internal/persist
+	$(GO) test -race -run 'TestCrash|TestRestart' ./internal/core ./internal/sim
+	$(GO) run ./cmd/legion-bench -quick -run E21
+
+# Short fuzz pass over the wire decoder (v2/v3/v4 frames) and the
+# segment-record/snapshot codec: enough to catch a freshly introduced
+# parser panic without tying up CI.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParseFrame -fuzztime 15s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzSegmentRecord -fuzztime 15s ./internal/persist
 
 vet:
 	$(GO) vet ./...

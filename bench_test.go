@@ -21,6 +21,7 @@ import (
 	"repro/internal/magistrate"
 	"repro/internal/metrics"
 	"repro/internal/oa"
+	"repro/internal/persist"
 	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/security"
@@ -627,5 +628,56 @@ func BenchmarkE15WideArea(b *testing.B) {
 			cli.Cache().InvalidateLOID(obj)
 			mustCall(b, cli, obj, "Work")
 		}
+	})
+}
+
+// BenchmarkCheckpointStorm measures the jurisdiction store under a
+// checkpoint storm: GOMAXPROCS writers Put OPRs as fast as they can,
+// and every acknowledged Put must be durable. file-sync is the
+// conservative FileStore configuration (one temp file + rename + data
+// fsync + directory fsync per record); segment is the append-only
+// SegmentStore, where concurrent writers pile onto one group commit
+// and share a single fsync. The E21 acceptance bar is segment ≥10x
+// file-sync throughput; BENCH_<date>.json records the measured ratio.
+func BenchmarkCheckpointStorm(b *testing.B) {
+	storm := func(b *testing.B, st persist.Store) {
+		state := make([]byte, 256)
+		for i := range state {
+			state[i] = byte(i)
+		}
+		var seq atomic.Uint64
+		b.SetBytes(int64(len(state)))
+		// A storm means many hosts flushing at once — far more writers
+		// than cores. Group commit only shows its absorption with
+		// concurrent blocked writers, so oversubscribe deliberately.
+		b.SetParallelism(64)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				o := persist.OPR{
+					LOID:  loid.NewNoKey(990, seq.Add(1)),
+					Impl:  "bench/storm",
+					State: state,
+				}
+				if _, err := st.Put(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("file-sync", func(b *testing.B) {
+		st, err := persist.NewFileStore(b.TempDir(), persist.WithSync())
+		if err != nil {
+			b.Fatal(err)
+		}
+		storm(b, st)
+	})
+	b.Run("segment", func(b *testing.B) {
+		st, err := persist.NewSegmentStore(b.TempDir(), persist.SegmentOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		storm(b, st)
 	})
 }

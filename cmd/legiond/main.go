@@ -49,6 +49,7 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint", 0, "checkpoint residents' state this often (0 disables; core and host modes)")
 	loadReport := flag.Duration("load-report", 0, "report host load vectors to the Magistrate this often — feeds load-aware placement and /debug/placements (0 disables; core and host modes)")
 	syncOPRs := flag.Bool("sync", false, "core: fsync every persistent-representation write")
+	storeBackend := flag.String("store", "", "core: jurisdiction storage engine: mem | file | segment (default: mem, or file when -vault/-data-dir is set)")
 	debugAddr := flag.String("debug-addr", "", "serve the observability surface (metrics, traces, health, pprof) on this address; empty disables it")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "trace one invocation in N (1 = every invocation); effective with -debug-addr")
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 			VaultDir:             *vault,
 			DataDir:              *dataDir,
 			SyncOPRs:             *syncOPRs,
+			StoreBackend:         *storeBackend,
 			CheckpointEvery:      *ckptEvery,
 			LoadReportEvery:      *loadReport,
 		}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -79,6 +80,12 @@ type Options struct {
 	// directory) before it is acknowledged — survives power loss, costs
 	// a disk flush per checkpoint. Only meaningful with on-disk storage.
 	SyncOPRs bool
+	// StoreBackend selects the jurisdiction storage engine by registry
+	// name — "mem", "file", or "segment" (persist.Backends lists them).
+	// Empty keeps the legacy defaulting: memory, or a FileStore when
+	// VaultDir/DataDir is set. Disk backends root each jurisdiction
+	// under <root>/j<N>.
+	StoreBackend string
 	// CheckpointEvery, when > 0, starts a checkpoint loop on every Host
 	// Object: each interval, residents whose state changed since the
 	// last round are snapshotted into the Jurisdiction's store via the
@@ -405,20 +412,30 @@ func (s *System) bootstrap() error {
 	hostSeq, magSeq := uint64(0), uint64(0)
 	var allMags []loid.LOID
 	for j := 0; j < s.Options.Jurisdictions; j++ {
-		var store persist.Store = persist.NewMemStore()
-		if dir := s.storeRoot(); dir != "" {
-			var fopts []persist.FileOption
-			if s.Options.SyncOPRs {
-				fopts = append(fopts, persist.WithSync())
+		dir := s.storeRoot()
+		backend := s.Options.StoreBackend
+		if backend == "" {
+			if dir != "" {
+				backend = "file"
+			} else {
+				backend = "mem"
 			}
-			fs, err := persist.NewFileStore(fmt.Sprintf("%s/j%d", dir, j), fopts...)
-			if err != nil {
-				return err
-			}
-			if q := fs.Quarantined(); q > 0 {
+		}
+		if backend != "mem" && dir == "" {
+			return fmt.Errorf("core: store backend %q needs DataDir or VaultDir", backend)
+		}
+		store, err := persist.Open(backend, persist.BackendConfig{
+			Dir:     fmt.Sprintf("%s/j%d", dir, j),
+			Sync:    s.Options.SyncOPRs,
+			Metrics: s.Reg,
+		})
+		if err != nil {
+			return fmt.Errorf("core: open %s store: %w", backend, err)
+		}
+		if sp, ok := store.(persist.StatsProvider); ok {
+			if q := sp.Stats().Quarantined; q > 0 {
 				s.Reg.Counter("persist/quarantined").Add(uint64(q))
 			}
-			store = fs
 		}
 		juris := &Jurisdiction{Store: store}
 
@@ -686,6 +703,11 @@ func (s *System) Close() {
 	}
 	for _, n := range s.nodes {
 		n.Close()
+	}
+	for _, j := range s.Jurisdictions {
+		if c, ok := j.Store.(io.Closer); ok {
+			_ = c.Close() // stops segment compaction and group commit
+		}
 	}
 	if s.Fabric != nil {
 		s.Fabric.Close()

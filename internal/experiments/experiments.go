@@ -109,6 +109,7 @@ func All() []Runner {
 		{"E18", "crash-recovery", RunE18},
 		{"E19", "live-migration", RunE19},
 		{"E20", "observability", RunE20},
+		{"E21", "segment-store", RunE21},
 	}
 }
 

@@ -7,7 +7,17 @@ import (
 
 	"repro/internal/loid"
 	"repro/internal/oa"
+	"repro/internal/persist"
 	"repro/internal/wire"
+)
+
+// Checkpoint batches are flushed when either bound is reached, so one
+// slow round cannot grow an unbounded RPC: transport frames are capped
+// at 32 MiB and a storm of small objects should amortize into few
+// group commits, not few giant ones.
+const (
+	ckptBatchEntries = 64
+	ckptBatchBytes   = 256 << 10
 )
 
 // checkpointer is the host's periodic snapshot loop: every interval it
@@ -80,11 +90,14 @@ func (h *Host) StopCheckpointer() {
 }
 
 // CheckpointNow runs one checkpoint round synchronously: every dirty
-// resident is saved and shipped to the Magistrate. Returns how many
-// objects were checkpointed. Idle objects (mutation clock unchanged
-// since the last round) cost one atomic load. Errors on individual
-// objects are skipped — the object stays dirty and is retried next
-// round; the first error is returned for observability.
+// resident is saved locally, and the snapshots ship to the Magistrate
+// in CheckpointBatch RPCs of up to ckptBatchEntries objects or
+// ckptBatchBytes of state — one group commit per flush on a batching
+// store instead of one fsync per object. Returns how many objects the
+// Magistrate accepted. Idle objects (mutation clock unchanged since
+// the last round) cost one atomic load. A failed save or a failed
+// flush leaves its objects dirty for the next round; the first error
+// is returned for observability.
 func (h *Host) CheckpointNow() (int, error) {
 	h.mu.Lock()
 	c := h.ckpt
@@ -107,6 +120,52 @@ func (h *Host) CheckpointNow() (int, error) {
 	reg := h.node.Registry()
 	var firstErr error
 	saved := 0
+
+	var (
+		pending      []persist.OPR
+		clocks       []uint64
+		pendingBytes int
+	)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		blob := persist.EncodeOPRBatch(pending)
+		res, err := h.obj.Caller().CallAddr(c.magAddr, c.mag, "CheckpointBatch",
+			wire.LOID(h.self), blob)
+		if err == nil {
+			err = res.Err()
+		}
+		var accepted uint64
+		if err == nil {
+			raw, rerr := res.Result(0)
+			if rerr == nil {
+				accepted, rerr = wire.AsUint64(raw)
+			}
+			err = rerr
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("host %v: checkpoint batch of %d: %w", h.self, len(pending), err)
+			}
+			span.Event("checkpoint", fmt.Sprintf("batch of %d failed: %v", len(pending), err))
+			reg.Counter("ckpt/errors").Inc()
+		} else {
+			for i, o := range pending {
+				c.seen[o.LOID] = clocks[i]
+			}
+			saved += int(accepted)
+			span.Event("checkpoint", fmt.Sprintf("batch of %d, %d bytes, %d accepted",
+				len(pending), pendingBytes, accepted))
+			reg.Counter("ckpt/batches").Inc()
+			reg.Counter("ckpt/saved").Add(uint64(len(pending)))
+			reg.Counter("ckpt/bytes").Add(uint64(pendingBytes))
+		}
+		pending = pending[:0]
+		clocks = clocks[:0]
+		pendingBytes = 0
+	}
+
 	for l, implName := range targets {
 		o, ok := h.node.Lookup(l)
 		if !ok {
@@ -128,13 +187,6 @@ func (h *Host) CheckpointNow() (int, error) {
 		if err == nil {
 			state, err = res.Result(0)
 		}
-		if err == nil {
-			res, err = h.obj.Caller().CallAddr(c.magAddr, c.mag, "Checkpoint",
-				wire.LOID(h.self), wire.LOID(l), wire.String(implName), state)
-			if err == nil {
-				err = res.Err()
-			}
-		}
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("host %v: checkpoint %v: %w", h.self, l, err)
@@ -143,12 +195,14 @@ func (h *Host) CheckpointNow() (int, error) {
 			reg.Counter("ckpt/errors").Inc()
 			continue
 		}
-		c.seen[l] = clock
-		saved++
-		span.Event("checkpoint", fmt.Sprintf("%v %d bytes", l, len(state)))
-		reg.Counter("ckpt/saved").Inc()
-		reg.Counter("ckpt/bytes").Add(uint64(len(state)))
+		pending = append(pending, persist.OPR{LOID: l, Impl: implName, State: state})
+		clocks = append(clocks, clock)
+		pendingBytes += len(state)
+		if len(pending) >= ckptBatchEntries || pendingBytes >= ckptBatchBytes {
+			flush()
+		}
 	}
+	flush()
 	if span != nil {
 		span.Finish(wire.OK.String())
 	}

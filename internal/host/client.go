@@ -185,6 +185,21 @@ func (cl *Client) FinishMigrate(ctx context.Context, l loid.LOID, newAddr oa.Add
 	return res.Err()
 }
 
+// AdoptObjects ships an entire resident set (a persist.EncodeSnapshot
+// blob) to the host in one call; the host activates every object in it
+// or none. Returns how many objects are now running there.
+func (cl *Client) AdoptObjects(ctx context.Context, snapshot []byte) (uint64, error) {
+	res, err := cl.c.CallCtx(ctx, cl.host, "AdoptObjects", snapshot)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return 0, err
+	}
+	return wire.AsUint64(raw)
+}
+
 // SetCPULoad sets the host's concurrent-object capacity (0 removes the
 // limit).
 func (cl *Client) SetCPULoad(limit uint64) error {

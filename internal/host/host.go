@@ -63,6 +63,9 @@ var Interface = idl.NewInterface("LegionHost",
 			{Name: "object", Type: idl.TLOID},
 			{Name: "newAddr", Type: idl.TAddress},
 		}},
+	idl.MethodSig{Name: "AdoptObjects",
+		Params:  []idl.Param{{Name: "snapshot", Type: idl.TBytes}},
+		Returns: []idl.Param{{Name: "adopted", Type: idl.TUint64}}},
 )
 
 // ServiceConcurrency is the number of dispatch workers given to
@@ -197,6 +200,8 @@ func (h *Host) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		return h.abortMigrate(inv)
 	case "FinishMigrate":
 		return h.finishMigrate(inv)
+	case "AdoptObjects":
+		return h.adoptObjects(inv)
 	}
 	return nil, &rt.NoSuchMethodError{Method: inv.Method}
 }

@@ -107,6 +107,21 @@ func (cl *Client) Checkpoint(h, l loid.LOID, impl string, state []byte) error {
 	return res.Err()
 }
 
+// CheckpointBatch files one host's whole dirty set in a single call;
+// batch is a persist.EncodeOPRBatch stream. Returns how many entries
+// the Magistrate accepted (stale entries are silently dropped).
+func (cl *Client) CheckpointBatch(h loid.LOID, batch []byte) (uint64, error) {
+	res, err := cl.c.Call(cl.m, "CheckpointBatch", wire.LOID(h), batch)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := res.Result(0)
+	if err != nil {
+		return 0, err
+	}
+	return wire.AsUint64(raw)
+}
+
 // Deactivate moves l to an Object Persistent Representation on the
 // jurisdiction's storage.
 func (cl *Client) Deactivate(l loid.LOID) error {

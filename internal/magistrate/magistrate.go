@@ -63,6 +63,11 @@ var Interface = idl.NewInterface("LegionMagistrate",
 			{Name: "object", Type: idl.TLOID},
 			{Name: "impl", Type: idl.TString},
 			{Name: "state", Type: idl.TBytes}}},
+	idl.MethodSig{Name: "CheckpointBatch",
+		Params: []idl.Param{
+			{Name: "host", Type: idl.TLOID},
+			{Name: "batch", Type: idl.TBytes}},
+		Returns: []idl.Param{{Name: "saved", Type: idl.TUint64}}},
 	idl.MethodSig{Name: "GetBinding",
 		Params:  []idl.Param{{Name: "object", Type: idl.TLOID}},
 		Returns: []idl.Param{{Name: "b", Type: idl.TBinding}}},
@@ -139,6 +144,14 @@ type Magistrate struct {
 	// migHook observes migration phase boundaries (test injection).
 	migHook MigrateHook
 
+	// noBulk disables bulk adoption after a host failure, forcing the
+	// per-OPR reactivation path (ablation baseline; see
+	// SetBulkAdoption). Zero value = bulk adoption enabled.
+	noBulk bool
+	// adoptHook observes the moment between snapshot export and
+	// shipping (chaos injection; see SetAdoptHook).
+	adoptHook func(target loid.LOID)
+
 	// plane is the cluster observability plane this Magistrate feeds
 	// (heartbeat epochs, piggybacked telemetry, OPR generations,
 	// flight-recorder events) and queries for LQL; nil when obs is off.
@@ -202,6 +215,20 @@ func (m *Magistrate) SetPlane(p *obs.Plane) {
 		}
 		return out
 	})
+	if sp, ok := m.store.(persist.StatsProvider); ok {
+		p.AddStoreSource(func() obs.StoreView {
+			st := sp.Stats()
+			return obs.StoreView{
+				Backend:     st.Backend,
+				Records:     st.Records,
+				Segments:    st.Segments,
+				Quarantined: st.Quarantined,
+				GCSegments:  st.GCSegments,
+				GCRecords:   st.GCRecords,
+				GroupCommit: st.GroupCommit,
+			}
+		})
+	}
 	p.AddHostSource(func() []obs.HostView {
 		ls := m.Loads()
 		out := make([]obs.HostView, 0, len(ls))
@@ -267,6 +294,8 @@ func (m *Magistrate) Dispatch(inv *rt.Invocation) ([][]byte, error) {
 		return m.register(inv)
 	case "Checkpoint":
 		return m.checkpoint(inv)
+	case "CheckpointBatch":
+		return m.checkpointBatch(inv)
 	case "Activate":
 		return m.activate(inv)
 	case "Deactivate":
@@ -643,12 +672,18 @@ func (m *Magistrate) HostFailed(h loid.LOID) []loid.LOID {
 		affected = append(affected, id)
 	}
 	survivors := len(m.hosts) > 0
+	_, canExport := m.store.(persist.SnapshotExporter)
+	bulk := !m.noBulk && canExport && len(affected) >= 2
 	plane := m.plane
 	m.mu.Unlock()
 	plane.Record(obs.KindFailover, h.String(),
 		fmt.Sprintf("host failed, %d objects affected (survivors=%v)", len(affected), survivors), 0)
 	if len(affected) > 0 && survivors {
-		go m.reactivate(affected)
+		if bulk {
+			go m.bulkAdopt(affected)
+		} else {
+			go m.reactivate(affected)
+		}
 	}
 	return affected
 }

@@ -46,6 +46,16 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
+// Set stores an absolute value, turning the counter into a gauge.
+// Used for level metrics (e.g. persist/segments) that go down as well
+// as up.
+func (c *Counter) Set(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
 // Reset zeroes the counter.
 func (c *Counter) Reset() {
 	if c == nil {

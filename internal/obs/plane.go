@@ -37,6 +37,19 @@ type ObjectView struct {
 	Active bool
 }
 
+// StoreView is one jurisdiction-store summary row a metadata source
+// contributes: which backend holds the OPRs and how healthy it is
+// (quarantined = corrupt records moved aside by recovery).
+type StoreView struct {
+	Backend     string
+	Records     int
+	Segments    int
+	Quarantined int
+	GCSegments  int
+	GCRecords   int
+	GroupCommit uint64
+}
+
 // HostView is one host-health row a metadata source contributes.
 type HostView struct {
 	Host      string
@@ -109,6 +122,7 @@ type Plane struct {
 	remoteEvents []Event
 	objectSrcs   []func() []ObjectView
 	hostSrcs     []func() []HostView
+	storeSrcs    []func() StoreView
 }
 
 // NewPlane builds a plane.
@@ -193,6 +207,17 @@ func (p *Plane) AddHostSource(f func() []HostView) {
 	}
 	p.mu.Lock()
 	p.hostSrcs = append(p.hostSrcs, f)
+	p.mu.Unlock()
+}
+
+// AddStoreSource registers a jurisdiction-store stats provider; the
+// checkpoints LQL table leads with one summary row per store.
+func (p *Plane) AddStoreSource(f func() StoreView) {
+	if p == nil || f == nil {
+		return
+	}
+	p.mu.Lock()
+	p.storeSrcs = append(p.storeSrcs, f)
 	p.mu.Unlock()
 }
 
@@ -515,6 +540,7 @@ func (p *Plane) checkpointsTable() *Table {
 	for _, gs := range p.gens {
 		all = append(all, gs...)
 	}
+	srcs := append([]func() StoreView(nil), p.storeSrcs...)
 	p.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Object != all[j].Object {
@@ -522,11 +548,23 @@ func (p *Plane) checkpointsTable() *Table {
 		}
 		return all[i].Gen < all[j].Gen
 	})
-	t := &Table{Cols: []string{"object", "gen", "kind", "host", "bytes", "at"}}
+	t := &Table{Cols: []string{"object", "gen", "kind", "host", "bytes", "at",
+		"backend", "segments", "quarantined"}}
+	// One summary row per jurisdiction store leads the table: the OPR
+	// histories below all live in these backends.
+	for i, f := range srcs {
+		v := f()
+		t.Rows = append(t.Rows, []Value{
+			Str(fmt.Sprintf("(store/%d)", i)), Num(0), Str("store"), Str(""),
+			Num(float64(v.Records)), TimeOf(time.Now()),
+			Str(v.Backend), Num(float64(v.Segments)), Num(float64(v.Quarantined)),
+		})
+	}
 	for _, g := range all {
 		t.Rows = append(t.Rows, []Value{
 			Str(g.Object), Num(float64(g.Gen)), Str(g.Kind), Str(g.Host),
 			Num(float64(g.Bytes)), TimeOf(g.At),
+			Str(""), Num(0), Num(0),
 		})
 	}
 	return t

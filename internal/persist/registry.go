@@ -1,0 +1,95 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// BackendConfig carries everything a backend factory might need. Fields
+// a backend does not use are ignored (mem ignores all of them).
+type BackendConfig struct {
+	// Dir is the backing directory for disk backends.
+	Dir string
+	// Sync makes the file backend fsync record data on every Put. The
+	// segment backend always group-commits (that is its durability
+	// model) unless Segment.NoSync is set.
+	Sync bool
+	// VFS overrides the filesystem (fault injection); nil = OS.
+	VFS VFS
+	// Metrics receives the store's counters when set.
+	Metrics *metrics.Registry
+	// Segment tunes the segment backend; zero values get defaults.
+	Segment SegmentOptions
+}
+
+// BackendFactory opens a Store from a config.
+type BackendFactory func(cfg BackendConfig) (Store, error)
+
+var (
+	backendsMu sync.RWMutex
+	backends   = map[string]BackendFactory{}
+)
+
+// RegisterBackend adds a named backend. Registering a duplicate name
+// panics — it is a wiring bug, not a runtime condition.
+func RegisterBackend(name string, f BackendFactory) {
+	backendsMu.Lock()
+	defer backendsMu.Unlock()
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("persist: duplicate backend %q", name))
+	}
+	backends[name] = f
+}
+
+// Backends lists the registered backend names, sorted. The conformance
+// suite iterates this so a new backend is tested by existing.
+func Backends() []string {
+	backendsMu.RLock()
+	defer backendsMu.RUnlock()
+	out := make([]string, 0, len(backends))
+	for n := range backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open builds a Store from a registered backend name.
+func Open(name string, cfg BackendConfig) (Store, error) {
+	backendsMu.RLock()
+	f, ok := backends[name]
+	backendsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("persist: unknown store backend %q (have %v)", name, Backends())
+	}
+	return f(cfg)
+}
+
+func init() {
+	RegisterBackend("mem", func(cfg BackendConfig) (Store, error) {
+		return NewMemStore(), nil
+	})
+	RegisterBackend("file", func(cfg BackendConfig) (Store, error) {
+		var opts []FileOption
+		if cfg.Sync {
+			opts = append(opts, WithSync())
+		}
+		if cfg.VFS != nil {
+			opts = append(opts, WithVFS(cfg.VFS))
+		}
+		return NewFileStore(cfg.Dir, opts...)
+	})
+	RegisterBackend("segment", func(cfg BackendConfig) (Store, error) {
+		so := cfg.Segment
+		if so.VFS == nil {
+			so.VFS = cfg.VFS
+		}
+		if so.Metrics == nil {
+			so.Metrics = cfg.Metrics
+		}
+		return NewSegmentStore(cfg.Dir, so)
+	})
+}

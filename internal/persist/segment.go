@@ -1,0 +1,326 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Segment record layout. Every mutation (put or delete) is one record
+// appended to the active segment:
+//
+//	magic   "LSR1"                      4 bytes
+//	kind    1=put 2=delete              1 byte
+//	addrLen uint16                      2 bytes
+//	payLen  uint32                      4 bytes
+//	crc     uint32                      4 bytes   self-CRC, see below
+//	chain   uint32                      4 bytes   CRC chain, see below
+//	addr    addrLen bytes
+//	payload payLen bytes (OPR.Marshal encoding; empty for deletes)
+//
+// crc is the IEEE CRC32 of kind|addrLen|payLen|addr|payload — it makes
+// a record self-validating, so recovery can resync onto a good record
+// after a damaged region. chain folds the previous record's chain value
+// into this record's crc (crc32.Update over the 4 crc bytes, seeded
+// with the predecessor's chain; the first record in a segment chains
+// from 0) — it detects dropped or reordered records that are
+// individually intact.
+const (
+	segRecMagic    = "LSR1"
+	segRecHdrLen   = 4 + 1 + 2 + 4 + 4 + 4
+	segKindPut     = byte(1)
+	segKindDelete  = byte(2)
+	maxSegAddrLen  = 4096
+	maxSegPayload  = maxStateLen + maxImplLen + 64
+	segFileMagic   = "LSEGV01\n"
+	snapshotMagic  = "LSNAPV1\n"
+	segFilePrefix  = "seg-"
+	segFileExt     = ".seg"
+)
+
+var (
+	// errSegShort reports a record cut off by end-of-data: a crash tail
+	// if nothing valid follows, damage if something does.
+	errSegShort = errors.New("persist: truncated segment record")
+	// errSegMagic reports bytes that are not a record boundary.
+	errSegMagic = errors.New("persist: bad segment record magic")
+	// errSegCRC reports a record whose self-CRC does not match.
+	errSegCRC = fmt.Errorf("%w: segment record checksum mismatch", ErrCorrupt)
+)
+
+// segRecord is one decoded segment record.
+type segRecord struct {
+	kind    byte
+	addr    PersistentAddress
+	payload []byte // aliases the input buffer; copy before retaining
+	crc     uint32
+	chain   uint32
+	// chainOK is false when the record is self-valid but its chain
+	// value does not extend the predecessor — evidence that records
+	// between them were lost.
+	chainOK bool
+}
+
+// chainCRC folds a record's self-CRC into the running chain value.
+func chainCRC(prev, crc uint32) uint32 {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], crc)
+	return crc32.Update(prev, crc32.IEEETable, b[:])
+}
+
+// appendSegRecord appends one encoded record to dst and returns the new
+// buffer plus the updated chain value.
+func appendSegRecord(dst []byte, kind byte, addr PersistentAddress, payload []byte, prevChain uint32) ([]byte, uint32) {
+	dst = append(dst, segRecMagic...)
+	bodyAt := len(dst)
+	dst = append(dst, kind)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(addr)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // crc placeholder
+	dst = append(dst, 0, 0, 0, 0) // chain placeholder
+	dst = append(dst, addr...)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[bodyAt : bodyAt+7])
+	crc = crc32.Update(crc, crc32.IEEETable, []byte(addr))
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	chain := chainCRC(prevChain, crc)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc)
+	binary.BigEndian.PutUint32(dst[crcAt+4:], chain)
+	return dst, chain
+}
+
+// decodeSegRecord decodes the record at the start of b, validating its
+// self-CRC and checking its chain value against prevChain. It returns
+// the record and the number of bytes consumed. The payload aliases b.
+//
+// Errors distinguish the three recovery-relevant shapes: errSegMagic
+// (not a boundary — resync), errSegShort (ran out of bytes — crash
+// tail or damage), errSegCRC (boundary and length plausible but bytes
+// rotted — damage).
+func decodeSegRecord(b []byte, prevChain uint32) (segRecord, int, error) {
+	if len(b) < segRecHdrLen {
+		if len(b) >= 4 && string(b[:4]) != segRecMagic {
+			return segRecord{}, 0, errSegMagic
+		}
+		return segRecord{}, 0, errSegShort
+	}
+	if string(b[:4]) != segRecMagic {
+		return segRecord{}, 0, errSegMagic
+	}
+	kind := b[4]
+	addrLen := int(binary.BigEndian.Uint16(b[5:7]))
+	payLen := int(binary.BigEndian.Uint32(b[7:11]))
+	if kind != segKindPut && kind != segKindDelete {
+		return segRecord{}, 0, errSegCRC
+	}
+	if addrLen == 0 || addrLen > maxSegAddrLen || payLen > maxSegPayload {
+		return segRecord{}, 0, errSegCRC
+	}
+	total := segRecHdrLen + addrLen + payLen
+	if len(b) < total {
+		return segRecord{}, 0, errSegShort
+	}
+	crc := binary.BigEndian.Uint32(b[11:15])
+	chain := binary.BigEndian.Uint32(b[15:19])
+	got := crc32.ChecksumIEEE(b[4:11])
+	got = crc32.Update(got, crc32.IEEETable, b[segRecHdrLen:total])
+	if got != crc {
+		return segRecord{}, 0, errSegCRC
+	}
+	rec := segRecord{
+		kind:    kind,
+		addr:    PersistentAddress(b[segRecHdrLen : segRecHdrLen+addrLen]),
+		payload: b[segRecHdrLen+addrLen : total],
+		crc:     crc,
+		chain:   chain,
+		chainOK: chain == chainCRC(prevChain, crc),
+	}
+	return rec, total, nil
+}
+
+// EncodeSnapshot serialises a set of OPRs (with their persistent
+// addresses) into one self-validating stream: the snapshot magic, a
+// record count, then one put record per OPR with the chain seeded from
+// zero. This is the unit of bulk adoption — a Magistrate ships a failed
+// host's entire resident set to a survivor as one of these.
+func EncodeSnapshot(addrs []PersistentAddress, oprs []OPR) ([]byte, error) {
+	if len(addrs) != len(oprs) {
+		return nil, fmt.Errorf("persist: snapshot addr/opr count mismatch %d != %d", len(addrs), len(oprs))
+	}
+	out := append([]byte(nil), snapshotMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(oprs)))
+	chain := uint32(0)
+	for i, o := range oprs {
+		out, chain = appendSegRecord(out, segKindPut, addrs[i], o.Marshal(nil), chain)
+	}
+	return out, nil
+}
+
+// DecodeSnapshot validates and decodes a snapshot stream. Any
+// truncation, corruption, or count mismatch is an error — a bulk
+// adoption is all-or-nothing; a partial set would strand objects.
+func DecodeSnapshot(b []byte) ([]PersistentAddress, []OPR, error) {
+	if len(b) < len(snapshotMagic)+4 || string(b[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	}
+	count := int(binary.BigEndian.Uint32(b[len(snapshotMagic):]))
+	b = b[len(snapshotMagic)+4:]
+	// Every record is at least a header, so a count the remaining bytes
+	// cannot possibly hold is corruption — reject it before it sizes an
+	// allocation (fuzz-found: a forged count word must not drive a
+	// multi-GB make).
+	if count > len(b)/segRecHdrLen {
+		return nil, nil, fmt.Errorf("%w: snapshot count %d exceeds %d payload bytes", ErrCorrupt, count, len(b))
+	}
+	addrs := make([]PersistentAddress, 0, count)
+	oprs := make([]OPR, 0, count)
+	chain := uint32(0)
+	for i := 0; i < count; i++ {
+		rec, n, err := decodeSegRecord(b, chain)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: snapshot record %d: %v", ErrCorrupt, i, err)
+		}
+		if !rec.chainOK {
+			return nil, nil, fmt.Errorf("%w: snapshot record %d: chain broken", ErrCorrupt, i)
+		}
+		if rec.kind != segKindPut {
+			return nil, nil, fmt.Errorf("%w: snapshot record %d: not a put", ErrCorrupt, i)
+		}
+		o, err := Unmarshal(rec.payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: snapshot record %d: %v", ErrCorrupt, i, err)
+		}
+		addrs = append(addrs, rec.addr)
+		oprs = append(oprs, o)
+		chain = rec.chain
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(b))
+	}
+	return addrs, oprs, nil
+}
+
+// EncodeOPRBatch frames a set of OPRs for one wire message (the
+// CheckpointBatch RPC): u32 count, then length-prefixed OPR encodings.
+func EncodeOPRBatch(oprs []OPR) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(oprs)))
+	for _, o := range oprs {
+		body := o.Marshal(nil)
+		out = binary.BigEndian.AppendUint64(out, uint64(len(body)))
+		out = append(out, body...)
+	}
+	return out
+}
+
+// DecodeOPRBatch reverses EncodeOPRBatch. Any truncation or undecodable
+// entry fails the whole batch.
+func DecodeOPRBatch(b []byte) ([]OPR, error) {
+	if len(b) < 4 {
+		return nil, errors.New("persist: short OPR batch header")
+	}
+	count := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	// Same stance as DecodeSnapshot: each entry carries at least its
+	// 8-byte length prefix, so an impossible count is corruption, not
+	// an allocation size.
+	if count > len(b)/8 {
+		return nil, fmt.Errorf("persist: OPR batch count %d exceeds %d payload bytes", count, len(b))
+	}
+	out := make([]OPR, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("persist: OPR batch entry %d: short length", i)
+		}
+		n := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		if n > maxSegPayload || uint64(len(b)) < n {
+			return nil, fmt.Errorf("persist: OPR batch entry %d: bad length %d", i, n)
+		}
+		o, err := Unmarshal(b[:n])
+		if err != nil {
+			return nil, fmt.Errorf("persist: OPR batch entry %d: %w", i, err)
+		}
+		out = append(out, o)
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing OPR batch bytes", len(b))
+	}
+	return out, nil
+}
+
+// SnapshotExporter is implemented by stores that can serialise a set of
+// OPRs into a single shippable stream. All built-in backends implement
+// it; the Magistrate uses it for bulk adoption after a host failure.
+type SnapshotExporter interface {
+	ExportSnapshot(addrs []PersistentAddress) ([]byte, error)
+}
+
+// exportSnapshot is the shared SnapshotExporter implementation: read
+// each OPR through the store's own Get (so per-backend validation and
+// quarantine applies) and encode the stream.
+func exportSnapshot(s Store, addrs []PersistentAddress) ([]byte, error) {
+	oprs := make([]OPR, 0, len(addrs))
+	kept := make([]PersistentAddress, 0, len(addrs))
+	for _, a := range addrs {
+		o, err := s.Get(a)
+		if err != nil {
+			return nil, fmt.Errorf("persist: snapshot export %s: %w", a, err)
+		}
+		kept = append(kept, a)
+		oprs = append(oprs, o)
+	}
+	return EncodeSnapshot(kept, oprs)
+}
+
+// ExportSnapshot implements SnapshotExporter.
+func (s *MemStore) ExportSnapshot(addrs []PersistentAddress) ([]byte, error) {
+	return exportSnapshot(s, addrs)
+}
+
+// ExportSnapshot implements SnapshotExporter.
+func (s *FileStore) ExportSnapshot(addrs []PersistentAddress) ([]byte, error) {
+	return exportSnapshot(s, addrs)
+}
+
+// BatchPutter is an optional Store capability: persist several OPRs
+// with one durability round-trip (one group commit for the segment
+// backend). Addresses are returned in input order.
+type BatchPutter interface {
+	PutBatch(oprs []OPR) ([]PersistentAddress, error)
+}
+
+// StoreStats is a point-in-time view of a backend's internals for the
+// observability plane.
+type StoreStats struct {
+	Backend     string
+	Records     int // live records (current OPRs)
+	Segments    int // segment files (segment backend; 0 otherwise)
+	Quarantined int // corrupt records moved aside over this store's lifetime
+	GCSegments  int // segments reclaimed by compaction
+	GCRecords   int // dead records dropped by compaction
+	GroupCommit uint64 // fsync batches issued (segment backend)
+}
+
+// StatsProvider is an optional Store capability.
+type StatsProvider interface {
+	Stats() StoreStats
+}
+
+// Stats implements StatsProvider.
+func (s *MemStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Backend: "mem", Records: len(s.objs)}
+}
+
+// Stats implements StatsProvider.
+func (s *FileStore) Stats() StoreStats {
+	addrs, _ := s.List()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Backend: "file", Records: len(addrs), Quarantined: s.quarantined}
+}

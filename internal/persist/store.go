@@ -94,6 +94,7 @@ func (s *MemStore) Len() int {
 type FileStore struct {
 	dir  string
 	sync bool
+	vfs  VFS
 
 	mu          sync.Mutex
 	next        uint64
@@ -103,11 +104,19 @@ type FileStore struct {
 // FileOption configures a FileStore.
 type FileOption func(*FileStore)
 
-// WithSync makes every Put fsync the record file (and the directory
-// after the rename) before returning. Slower, but a power failure
-// cannot lose an acknowledged checkpoint.
+// WithSync makes every Put fsync the record file before returning.
+// Slower, but a power failure cannot lose an acknowledged checkpoint.
+// (The parent directory is fsynced after the rename regardless of this
+// option — an acknowledged Put must never evaporate because the
+// directory entry was still in the page cache.)
 func WithSync() FileOption {
 	return func(s *FileStore) { s.sync = true }
+}
+
+// WithVFS routes the store's file I/O through v (tests inject faults or
+// record calls this way).
+func WithVFS(v VFS) FileOption {
+	return func(s *FileStore) { s.vfs = v }
 }
 
 const (
@@ -159,12 +168,12 @@ func decodeRecord(data []byte) (OPR, error) {
 // quarantine/ subdirectory (and counted) instead of failing the
 // Jurisdiction — one rotten record must not take the store down.
 func NewFileStore(dir string, opts ...FileOption) (*FileStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
-	}
-	s := &FileStore{dir: dir}
+	s := &FileStore{dir: dir, vfs: OS{}}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if err := s.vfs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -174,7 +183,7 @@ func NewFileStore(dir string, opts ...FileOption) (*FileStore, error) {
 
 // recover scans the directory once at open.
 func (s *FileStore) recover() error {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.vfs.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
@@ -187,12 +196,12 @@ func (s *FileStore) recover() error {
 		case strings.HasSuffix(name, tmpExt):
 			// A Put died between write and rename; the record was never
 			// acknowledged, so it is garbage.
-			os.Remove(filepath.Join(s.dir, name))
+			s.vfs.Remove(filepath.Join(s.dir, name))
 		case strings.HasSuffix(name, fileExt):
 			if seq, ok := parseSeq(name); ok && seq > s.next {
 				s.next = seq
 			}
-			data, err := os.ReadFile(filepath.Join(s.dir, name))
+			data, err := s.vfs.ReadFile(filepath.Join(s.dir, name))
 			if err != nil {
 				continue
 			}
@@ -226,10 +235,10 @@ func parseSeq(name string) (uint64, bool) {
 // the file stays where it is and keeps failing loudly on Get.
 func (s *FileStore) quarantine(name string) {
 	qdir := filepath.Join(s.dir, quarantineDir)
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
+	if err := s.vfs.MkdirAll(qdir, 0o755); err != nil {
 		return
 	}
-	if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+	if err := s.vfs.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
 		return
 	}
 	s.mu.Lock()
@@ -260,24 +269,25 @@ func (s *FileStore) Put(o OPR) (PersistentAddress, error) {
 	path := filepath.Join(s.dir, name)
 	tmp := path + tmpExt
 	if err := s.writeFile(tmp, frameRecord(o.Marshal(nil))); err != nil {
-		os.Remove(tmp)
+		s.vfs.Remove(tmp)
 		return "", fmt.Errorf("persist: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := s.vfs.Rename(tmp, path); err != nil {
+		s.vfs.Remove(tmp)
 		return "", fmt.Errorf("persist: %w", err)
 	}
-	if s.sync {
-		if d, err := os.Open(s.dir); err == nil {
-			d.Sync()
-			d.Close()
-		}
+	// The rename is only durable once the directory entry is. This used
+	// to happen only under WithSync, which let a crash un-happen an
+	// acknowledged Put; the directory fsync is cheap (no data pages) and
+	// unconditional.
+	if err := s.vfs.SyncDir(s.dir); err != nil {
+		return "", fmt.Errorf("persist: dir sync: %w", err)
 	}
 	return PersistentAddress(name), nil
 }
 
 func (s *FileStore) writeFile(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.vfs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -301,7 +311,7 @@ func (s *FileStore) Get(addr PersistentAddress) (OPR, error) {
 	if name != filepath.Base(name) {
 		return OPR{}, fmt.Errorf("%w: %s", ErrNotFound, addr)
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	data, err := s.vfs.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return OPR{}, fmt.Errorf("%w: %s", ErrNotFound, addr)
@@ -322,7 +332,7 @@ func (s *FileStore) Delete(addr PersistentAddress) error {
 	if name != filepath.Base(name) {
 		return fmt.Errorf("%w: %s", ErrNotFound, addr)
 	}
-	err := os.Remove(filepath.Join(s.dir, name))
+	err := s.vfs.Remove(filepath.Join(s.dir, name))
 	if os.IsNotExist(err) {
 		return fmt.Errorf("%w: %s", ErrNotFound, addr)
 	}
@@ -331,7 +341,7 @@ func (s *FileStore) Delete(addr PersistentAddress) error {
 
 // List implements Store.
 func (s *FileStore) List() ([]PersistentAddress, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.vfs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}

@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -121,6 +122,10 @@ type Config struct {
 	// DataDir, when set, makes the deployment durable (on-disk OPRs and
 	// a restorable system snapshot) — see core.Options.DataDir.
 	DataDir string
+	// StoreBackend selects the jurisdiction storage engine ("mem",
+	// "file", "segment"); see core.Options.StoreBackend. A disk backend
+	// with no DataDir gets a temporary directory, removed on Close.
+	StoreBackend string
 	// Obs, when true, builds the observability plane: per-method SLO
 	// histograms with trace exemplars, a flight recorder on every node,
 	// and LQL queries over the Magistrates' live metadata (Sim.Query).
@@ -178,6 +183,10 @@ type Sim struct {
 
 	rng *rand.Rand
 	mu  sync.Mutex
+
+	// tmpData is a Build-created store directory (StoreBackend with no
+	// DataDir); Close removes it.
+	tmpData string
 }
 
 // Build boots a system per cfg and populates classes, objects, and
@@ -200,6 +209,16 @@ func Build(cfg Config) (*Sim, error) {
 			SlowCall: cfg.SlowCall,
 		})
 	}
+	tmpData, vaultDir := "", ""
+	if cfg.StoreBackend != "" && cfg.StoreBackend != "mem" && cfg.DataDir == "" {
+		// A disk backend needs a root; a throwaway vault keeps the
+		// deployment otherwise non-durable (no snapshot semantics).
+		d, err := os.MkdirTemp("", "legion-sim-store-")
+		if err != nil {
+			return nil, fmt.Errorf("sim: store dir: %w", err)
+		}
+		tmpData, vaultDir = d, d
+	}
 	sys, err := core.Boot(core.Options{
 		Registry:             reg,
 		Impls:                impls,
@@ -215,12 +234,17 @@ func Build(cfg Config) (*Sim, error) {
 		CheckpointEvery:      cfg.CheckpointEvery,
 		LoadReportEvery:      cfg.LoadReportEvery,
 		DataDir:              cfg.DataDir,
+		VaultDir:             vaultDir,
+		StoreBackend:         cfg.StoreBackend,
 		Obs:                  plane,
 	})
 	if err != nil {
+		if tmpData != "" {
+			os.RemoveAll(tmpData)
+		}
 		return nil, err
 	}
-	s := &Sim{Config: cfg, Sys: sys, Reg: reg, Tracer: tracer, Plane: plane, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s := &Sim{Config: cfg, Sys: sys, Reg: reg, Tracer: tracer, Plane: plane, rng: rand.New(rand.NewSource(cfg.Seed)), tmpData: tmpData}
 
 	var allMags []loid.LOID
 	for _, j := range sys.Jurisdictions {
@@ -264,6 +288,9 @@ func Build(cfg Config) (*Sim, error) {
 // Close tears the deployment down.
 func (s *Sim) Close() {
 	s.Sys.Close()
+	if s.tmpData != "" {
+		os.RemoveAll(s.tmpData)
+	}
 }
 
 // ResetMetrics zeroes all counters and every client cache's stats —
