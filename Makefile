@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test migrate-test obs-test store-test
+.PHONY: all build test race bench bench-invoke fuzz-smoke vet check experiments crash-test migrate-test obs-test store-test des-test
 
 all: check
 
@@ -70,6 +70,15 @@ store-test:
 	$(GO) test -race -run 'TestSegment|TestBackendConformance|TestFileStoreDirSync' ./internal/persist
 	$(GO) test -race -run 'TestCrash|TestRestart' ./internal/core ./internal/sim
 	$(GO) run ./cmd/legion-bench -quick -run E21
+
+# Discrete-event scale harness: the clock seam and virtual clock under
+# the race detector, the deterministic-replay guarantee (same seed →
+# byte-identical event logs), and a quick E22 run (10^4-object knee
+# ladders). The full 10^6-object sweep is `legion-bench -run E22`.
+des-test:
+	$(GO) test -race ./internal/clock ./internal/des
+	$(GO) test -race -run 'TestReplayDeterminism|TestBreakerVirtualClock' ./internal/des ./internal/health
+	$(GO) run ./cmd/legion-bench -quick -run E22
 
 # Short fuzz pass over the wire decoder (v2/v3/v4 frames) and the
 # segment-record/snapshot codec: enough to catch a freshly introduced

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bindagent"
 	"repro/internal/class"
+	"repro/internal/clock"
 	"repro/internal/health"
 	"repro/internal/host"
 	"repro/internal/idl"
@@ -113,6 +114,13 @@ type Options struct {
 	// transitions land in its flight recorder. Nil disables the plane
 	// (the invocation path then pays one atomic load per serve).
 	Obs *obs.Plane
+	// Clock is the system-wide time base (nil = wall clock). A
+	// clock.Virtual here puts every node's reply timers, deadlines and
+	// retry backoffs, every Magistrate's TTLs and load staleness, and
+	// every host loop onto deterministic simulated time — the
+	// foundation of the deterministic-replay tests and the DES
+	// harness. The caller drives it with Advance/Step.
+	Clock clock.Clock
 }
 
 func (o *Options) fill() {
@@ -268,6 +276,9 @@ func (s *System) newNode(name string) (*rt.Node, error) {
 	}
 	if ob := s.Options.Obs.Observer(); ob != nil {
 		n.SetObserver(ob)
+	}
+	if s.Options.Clock != nil {
+		n.SetClock(s.Options.Clock)
 	}
 	s.nodes = append(s.nodes, n)
 	return n, nil
@@ -477,6 +488,7 @@ func (s *System) bootstrap() error {
 		}
 		mag := magistrate.New(ml, juris.Store)
 		mag.BindingTTL = s.Options.BindingTTL
+		mag.SetClock(s.Options.Clock)
 		if s.Options.Obs != nil {
 			mag.SetPlane(s.Options.Obs)
 		}

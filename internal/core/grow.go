@@ -60,6 +60,7 @@ func (s *System) AddJurisdiction(hostCount int) (*Jurisdiction, error) {
 	}
 	mag := magistrate.New(ml, juris.Store)
 	mag.BindingTTL = s.Options.BindingTTL
+	mag.SetClock(s.Options.Clock)
 	if s.Options.Obs != nil {
 		mag.SetPlane(s.Options.Obs)
 	}

@@ -1,0 +1,171 @@
+package des
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// small returns a fast config for tests: 10^4 objects, 100 hosts,
+// 2 simulated seconds.
+func small() Config {
+	cfg := Defaults()
+	cfg.Objects = 10_000
+	cfg.Hosts = 100
+	cfg.Rate = 20_000
+	cfg.Duration = 2 * time.Second
+	cfg.Warmup = 500 * time.Millisecond
+	return cfg
+}
+
+// TestReplayDeterminism is the deterministic-replay guarantee: the
+// same seed on the virtual clock, twice, yields byte-identical event
+// logs and identical percentile/message-count tables. Run under -race
+// in CI (make des-test).
+func TestReplayDeterminism(t *testing.T) {
+	cfg := small()
+	cfg.RecordLog = true
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digests differ: %x vs %x", a.Digest, b.Digest)
+	}
+	if !bytes.Equal(a.Log, b.Log) {
+		t.Fatalf("event logs differ (%d vs %d bytes)", len(a.Log), len(b.Log))
+	}
+	if len(a.Log) == 0 {
+		t.Fatal("RecordLog produced no events")
+	}
+	if a.Calls != b.Calls || a.Failed != b.Failed ||
+		a.P50 != b.P50 || a.P99 != b.P99 || a.P999 != b.P999 {
+		t.Fatalf("result tables differ: %+v vs %+v", a, b)
+	}
+	if a.Agents.Msgs != b.Agents.Msgs || a.Class.Msgs != b.Class.Msgs ||
+		a.Magistrate.Msgs != b.Magistrate.Msgs || a.Hosts.Msgs != b.Hosts.Msgs {
+		t.Fatalf("message counts differ: %+v vs %+v", a, b)
+	}
+	// A different seed must actually change the run — otherwise the
+	// equality above proves nothing.
+	cfg.Seed = 2
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+// TestCallAccounting sanity-checks the model: roughly Rate×measured
+// window calls, every call touches a host, bound-path hits outnumber
+// class walks once the hot set is bound.
+func TestCallAccounting(t *testing.T) {
+	r, err := Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20k/s over the 1.5s measured window ≈ 30k calls; Poisson noise
+	// is a fraction of a percent at that count.
+	if r.Calls < 25_000 || r.Calls > 35_000 {
+		t.Fatalf("measured calls = %d, want ≈30000", r.Calls)
+	}
+	if uint64(r.Calls) > r.Hosts.Msgs {
+		t.Fatalf("hosts saw %d msgs < %d measured calls", r.Hosts.Msgs, r.Calls)
+	}
+	if r.Class.Msgs >= r.Hosts.Msgs {
+		t.Fatalf("class msgs (%d) not absorbed by binding caches (hosts %d)", r.Class.Msgs, r.Hosts.Msgs)
+	}
+	if r.Heartbeats == 0 {
+		t.Fatal("no heartbeats delivered")
+	}
+	if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 {
+		t.Fatalf("percentiles implausible: P50=%v P99=%v P999=%v", r.P50, r.P99, r.P999)
+	}
+	if av := r.Availability(); av < 0.99 {
+		t.Fatalf("healthy config availability = %.4f, want ≥0.99", av)
+	}
+}
+
+// TestMagShardsFixKnee overloads a single Magistrate intake with
+// heartbeat fan-in (many hosts, one jurisdiction) and asserts the
+// sub-magistrate sharding fix pulls the intake back under capacity.
+func TestMagShardsFixKnee(t *testing.T) {
+	cfg := small()
+	cfg.Hosts = 4000
+	cfg.Magistrates = 1
+	cfg.HeartbeatEvery = 100 * time.Millisecond // 40k reports/s into one intake
+	broken, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.Magistrate.Util < 1 {
+		t.Fatalf("intended knee not present: mag util %.2f", broken.Magistrate.Util)
+	}
+	cfg.MagShards = 4
+	fixed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Magistrate.Util >= 1 {
+		t.Fatalf("MagShards=4 left intake saturated: util %.2f", fixed.Magistrate.Util)
+	}
+	if fixed.Magistrate.Util >= broken.Magistrate.Util {
+		t.Fatalf("sharding did not reduce peak intake util: %.2f → %.2f",
+			broken.Magistrate.Util, fixed.Magistrate.Util)
+	}
+}
+
+// TestClassClonesFixKnee drives the binding-miss rate past one class
+// object's capacity and asserts cloning (§5.2.2) restores the tail.
+func TestClassClonesFixKnee(t *testing.T) {
+	cfg := small()
+	cfg.Rate = 60_000
+	cfg.Classes = 1
+	cfg.BindingTTL = 100 * time.Millisecond // expire fast: every call revalidates
+	broken, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.Class.Util < 1 {
+		t.Fatalf("intended knee not present: class util %.2f", broken.Class.Util)
+	}
+	cfg.ClassClones = 8
+	fixed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Class.Util >= 1 {
+		t.Fatalf("ClassClones=8 left class saturated: util %.2f", fixed.Class.Util)
+	}
+	if fixed.P999 >= broken.P999 {
+		t.Fatalf("cloning did not improve p99.9: %v → %v", broken.P999, fixed.P999)
+	}
+}
+
+// TestWorkloadShapes runs each arrival process and checks they are
+// genuinely different processes over the same seed.
+func TestWorkloadShapes(t *testing.T) {
+	digests := map[Shape]uint64{}
+	for _, sh := range []Shape{Uniform, Diurnal, Bursty} {
+		cfg := small()
+		cfg.Shape = sh
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		if r.Calls == 0 {
+			t.Fatalf("%v produced no calls", sh)
+		}
+		digests[sh] = r.Digest
+	}
+	if digests[Uniform] == digests[Diurnal] || digests[Uniform] == digests[Bursty] ||
+		digests[Diurnal] == digests[Bursty] {
+		t.Fatalf("arrival shapes not distinct: %v", digests)
+	}
+}

@@ -1,0 +1,324 @@
+package des
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// engine is one simulation run. Everything is single-goroutine: the
+// driver pops events off the virtual clock (Step) and each event's
+// payload updates the model arrays in place. Components are FIFO
+// servers — an arrival at t starts at max(t, busyUntil), so queueing
+// delay is exactly the excess of offered load over capacity.
+type engine struct {
+	cfg Config
+	v   *clock.Virtual
+	t0  time.Time
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	endNs, warmNs int64
+
+	// busyUntil / accumulated busy time per server, all ns since t0.
+	leafBusy, leafServed   []int64
+	treeBusy, treeServed   []int64 // inner combining-tree nodes, level-major
+	treeLevels             []int   // offset of each inner level in treeBusy
+	treeSizes              []int
+	classBusy, classServed []int64 // Classes × ClassClones
+	magBusy, magServed     []int64 // Magistrates × MagShards
+	hostBusy, hostServed   []int64
+
+	// boundUntil is the per-object client-binding expiry (0 = never
+	// bound); inert marks objects whose first touch must go through
+	// Magistrate activation.
+	boundUntil []int64
+	inert      []bool
+
+	// bursty-arrival state: the Markov-modulated process dwells in the
+	// on (burst) or off (valley) state until stateEndNs.
+	burstOn    bool
+	stateEndNs int64
+
+	lat    []int64 // post-warmup call latencies, ns
+	failed int
+
+	msgAgents, msgClass, msgMag, msgHosts, msgHeartbeats uint64
+
+	digest uint64
+	log    *bytes.Buffer
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+func newEngine(cfg Config) *engine {
+	e := &engine{
+		cfg:    cfg,
+		v:      clock.NewVirtual(time.Time{}),
+		rng:    rand.New(rand.NewSource(mix64(cfg.Seed, 1))),
+		digest: fnvOffset,
+	}
+	e.t0 = e.v.Now()
+	e.endNs = cfg.Duration.Nanoseconds()
+	e.warmNs = cfg.Warmup.Nanoseconds()
+	e.zipf = rand.NewZipf(e.rng, cfg.ZipfS, 1, uint64(cfg.Objects-1))
+
+	e.leafBusy = make([]int64, cfg.LeafAgents)
+	e.leafServed = make([]int64, cfg.LeafAgents)
+	// Inner tree levels: every AgentFanout leaves share a parent,
+	// recursively, until one root remains.
+	for n := ceilDiv(cfg.LeafAgents, cfg.AgentFanout); ; n = ceilDiv(n, cfg.AgentFanout) {
+		e.treeLevels = append(e.treeLevels, len(e.treeBusy))
+		e.treeSizes = append(e.treeSizes, n)
+		e.treeBusy = append(e.treeBusy, make([]int64, n)...)
+		if n == 1 {
+			break
+		}
+	}
+	e.treeServed = make([]int64, len(e.treeBusy))
+	e.classBusy = make([]int64, cfg.Classes*cfg.ClassClones)
+	e.classServed = make([]int64, len(e.classBusy))
+	e.magBusy = make([]int64, cfg.Magistrates*cfg.MagShards)
+	e.magServed = make([]int64, len(e.magBusy))
+	e.hostBusy = make([]int64, cfg.Hosts)
+	e.hostServed = make([]int64, cfg.Hosts)
+
+	e.boundUntil = make([]int64, cfg.Objects)
+	e.inert = make([]bool, cfg.Objects)
+	if cfg.InertFraction > 0 {
+		// A separate derived stream, so changing InertFraction does not
+		// shift the arrival sequence.
+		ir := rand.New(rand.NewSource(mix64(cfg.Seed, 2)))
+		for i := range e.inert {
+			e.inert[i] = ir.Float64() < cfg.InertFraction
+		}
+	}
+	if cfg.RecordLog {
+		e.log = &bytes.Buffer{}
+	}
+	return e
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func (e *engine) nowNs() int64 { return e.v.Since(e.t0).Nanoseconds() }
+
+// visit runs one service on server i: FIFO start at max(t, busyUntil),
+// done at start+svc. Returns the completion instant.
+func visit(busy, served []int64, i int, t, svc int64) int64 {
+	s := t
+	if b := busy[i]; b > s {
+		s = b
+	}
+	d := s + svc
+	busy[i] = d
+	served[i] += svc
+	return d
+}
+
+func (e *engine) start() {
+	if e.cfg.Shape == Bursty {
+		e.burstOn = false
+		e.stateEndNs = e.expNs(float64(e.cfg.BurstOff.Nanoseconds()))
+	}
+	e.scheduleCall(e.nextArrival(0))
+	if e.cfg.HeartbeatEvery > 0 {
+		// Hosts heartbeat round-robin at evenly staggered phases: one
+		// chained event covers the whole fleet.
+		e.scheduleHeartbeat(0, e.cfg.HeartbeatEvery.Nanoseconds()/int64(e.cfg.Hosts))
+	}
+}
+
+func (e *engine) scheduleCall(at int64) {
+	if at >= e.endNs {
+		return
+	}
+	e.v.AfterFunc(time.Duration(at-e.nowNs()), func() {
+		t := e.nowNs()
+		e.processCall(t)
+		e.scheduleCall(e.nextArrival(t))
+	})
+}
+
+func (e *engine) scheduleHeartbeat(h int, gap int64) {
+	e.v.AfterFunc(time.Duration(gap), func() {
+		t := e.nowNs()
+		if t >= e.endNs {
+			return
+		}
+		e.processHeartbeat(h, t)
+		e.scheduleHeartbeat((h+1)%e.cfg.Hosts, gap)
+	})
+}
+
+// expNs draws an exponential interval with the given mean (ns).
+func (e *engine) expNs(mean float64) int64 {
+	return int64(e.rng.ExpFloat64() * mean)
+}
+
+// nextArrival returns the absolute instant of the next call after t.
+func (e *engine) nextArrival(t int64) int64 {
+	meanGap := 1e9 / e.cfg.Rate // ns between arrivals at the base rate
+	switch e.cfg.Shape {
+	case Diurnal:
+		// Thinning (Lewis–Shedler): propose at the peak rate, accept
+		// with probability λ(t)/λmax. Rejected proposals advance time.
+		amp := e.cfg.DiurnalAmp
+		period := float64(e.cfg.DiurnalPeriod.Nanoseconds())
+		for {
+			t += e.expNs(meanGap / (1 + amp))
+			lam := 1 + amp*math.Sin(2*math.Pi*float64(t)/period)
+			if e.rng.Float64()*(1+amp) < lam {
+				return t
+			}
+		}
+	case Bursty:
+		for {
+			rate := 0.5 // valley: half the base rate
+			if e.burstOn {
+				rate = e.cfg.BurstFactor
+			}
+			next := t + e.expNs(meanGap/rate)
+			if next < e.stateEndNs {
+				return next
+			}
+			// Dwell expired before the next arrival: flip state at the
+			// boundary and redraw from there.
+			t = e.stateEndNs
+			e.burstOn = !e.burstOn
+			dwell := e.cfg.BurstOff
+			if e.burstOn {
+				dwell = e.cfg.BurstOn
+			}
+			e.stateEndNs = t + e.expNs(float64(dwell.Nanoseconds()))
+		}
+	default:
+		return t + e.expNs(meanGap)
+	}
+}
+
+// processCall walks one invocation down the §4.1 call path. Cold or
+// TTL-expired bindings pay the Binding Agent path to the class object
+// (cold ones walk the full combining tree; expired ones revalidate
+// through their cached leaf); inert objects additionally pay
+// Magistrate activation. The bound fast path goes straight to the
+// object's host.
+func (e *engine) processCall(arrival int64) {
+	cfg := &e.cfg
+	o := int(e.zipf.Uint64())
+	hop := cfg.NetHop.Nanoseconds()
+	t := arrival
+
+	cold := e.boundUntil[o] == 0
+	if cold || e.boundUntil[o] <= arrival {
+		leaf := o % cfg.LeafAgents
+		t += hop
+		t = visit(e.leafBusy, e.leafServed, leaf, t, cfg.AgentService.Nanoseconds())
+		e.msgAgents++
+		if cold {
+			// First reference anywhere: the miss combines up the tree.
+			idx := leaf
+			for l := range e.treeLevels {
+				idx /= cfg.AgentFanout
+				if idx >= e.treeSizes[l] {
+					idx = e.treeSizes[l] - 1
+				}
+				t += hop
+				t = visit(e.treeBusy, e.treeServed, e.treeLevels[l]+idx, t, cfg.AgentService.Nanoseconds())
+				e.msgAgents++
+			}
+		}
+		cls := o%cfg.Classes*cfg.ClassClones + (o/cfg.Classes)%cfg.ClassClones
+		t += hop
+		t = visit(e.classBusy, e.classServed, cls, t, cfg.ClassService.Nanoseconds())
+		e.msgClass++
+		if e.inert[o] {
+			mag := o%cfg.Magistrates*cfg.MagShards + (o/cfg.Magistrates)%cfg.MagShards
+			t += hop
+			t = visit(e.magBusy, e.magServed, mag, t, cfg.ActivateService.Nanoseconds())
+			e.msgMag++
+			e.inert[o] = false
+		}
+		e.boundUntil[o] = arrival + cfg.BindingTTL.Nanoseconds()
+	}
+	t += hop
+	t = visit(e.hostBusy, e.hostServed, o%cfg.Hosts, t, cfg.HostService.Nanoseconds())
+	e.msgHosts++
+	t += hop // reply
+	lat := t - arrival
+
+	if arrival >= e.warmNs {
+		e.lat = append(e.lat, lat)
+		if lat > cfg.Deadline.Nanoseconds() {
+			e.failed++
+		}
+	}
+	e.fold(1, uint64(o), arrival, lat)
+	if e.log != nil {
+		fmt.Fprintf(e.log, "%d call obj=%d lat=%d\n", arrival, o, lat)
+	}
+}
+
+// processHeartbeat delivers host h's load report into its Magistrate
+// intake shard — the fan-in the jurisdiction hierarchy exists to tame.
+func (e *engine) processHeartbeat(h int, t int64) {
+	cfg := &e.cfg
+	mag := h%cfg.Magistrates*cfg.MagShards + (h/cfg.Magistrates)%cfg.MagShards
+	visit(e.magBusy, e.magServed, mag, t+cfg.NetHop.Nanoseconds(), cfg.HeartbeatService.Nanoseconds())
+	e.msgMag++
+	e.msgHeartbeats++
+	e.fold(2, uint64(h), t, 0)
+	if e.log != nil {
+		fmt.Fprintf(e.log, "%d heartbeat host=%d\n", t, h)
+	}
+}
+
+// fold mixes one event record into the FNV-1a replay digest.
+func (e *engine) fold(kind byte, id uint64, t, lat int64) {
+	d := e.digest
+	for _, v := range [4]uint64{uint64(kind), id, uint64(t), uint64(lat)} {
+		for i := 0; i < 8; i++ {
+			d ^= (v >> (8 * i)) & 0xff
+			d *= fnvPrime
+		}
+	}
+	e.digest = d
+}
+
+func maxUtil(served []int64, dur int64) float64 {
+	var m int64
+	for _, s := range served {
+		if s > m {
+			m = s
+		}
+	}
+	return float64(m) / float64(dur)
+}
+
+func (e *engine) result() Result {
+	sortInt64(e.lat)
+	r := Result{
+		Config: e.cfg,
+		Calls:  len(e.lat),
+		Failed: e.failed,
+		P50:    percentile(e.lat, 0.50),
+		P99:    percentile(e.lat, 0.99),
+		P999:   percentile(e.lat, 0.999),
+		Agents: ComponentLoad{Msgs: e.msgAgents,
+			Util: math.Max(maxUtil(e.leafServed, e.endNs), maxUtil(e.treeServed, e.endNs))},
+		Class:      ComponentLoad{Msgs: e.msgClass, Util: maxUtil(e.classServed, e.endNs)},
+		Magistrate: ComponentLoad{Msgs: e.msgMag, Util: maxUtil(e.magServed, e.endNs)},
+		Hosts:      ComponentLoad{Msgs: e.msgHosts, Util: maxUtil(e.hostServed, e.endNs)},
+		Heartbeats: e.msgHeartbeats,
+		Digest:     e.digest,
+	}
+	if e.log != nil {
+		r.Log = e.log.Bytes()
+	}
+	return r
+}

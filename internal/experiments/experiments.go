@@ -110,6 +110,7 @@ func All() []Runner {
 		{"E19", "live-migration", RunE19},
 		{"E20", "observability", RunE20},
 		{"E21", "segment-store", RunE21},
+		{"E22", "des-scale", RunE22},
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
 	"repro/internal/oa"
 )
@@ -68,6 +69,10 @@ type Config struct {
 	// Alpha is the EWMA weight given to each new latency sample, in
 	// (0,1] (default 0.25).
 	Alpha float64
+	// Clock supplies the probe-window time base (nil = wall). Virtual
+	// clocks make breaker open/half-open transitions deterministic in
+	// tests and the DES harness.
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +135,14 @@ func NewTracker(cfg Config, reg *metrics.Registry) *Tracker {
 	}
 }
 
+// now reads the tracker's configured clock (wall when unset).
+func (t *Tracker) now() time.Time {
+	if t.cfg.Clock != nil {
+		return t.cfg.Clock.Now()
+	}
+	return time.Now()
+}
+
 type endpointState struct {
 	mu          sync.Mutex
 	state       State
@@ -186,7 +199,7 @@ func (t *Tracker) ReportFailure(e oa.Element) {
 			opened = true
 		}
 		es.state = Open
-		es.openedUntil = time.Now().Add(t.cfg.OpenDuration)
+		es.openedUntil = t.now().Add(t.cfg.OpenDuration)
 		es.probing = false
 	}
 	es.mu.Unlock()
@@ -211,7 +224,7 @@ func (t *Tracker) Allow(e oa.Element) bool {
 	case Closed:
 		return true
 	case Open:
-		if time.Now().After(es.openedUntil) {
+		if t.now().After(es.openedUntil) {
 			es.state = HalfOpen
 			es.probing = true
 			t.cProbes.Inc()
@@ -240,7 +253,7 @@ func (t *Tracker) StateOf(e oa.Element) State {
 	es := v.(*endpointState)
 	es.mu.Lock()
 	defer es.mu.Unlock()
-	if es.state == Open && time.Now().After(es.openedUntil) {
+	if es.state == Open && t.now().After(es.openedUntil) {
 		return HalfOpen
 	}
 	return es.state
@@ -272,7 +285,7 @@ func (t *Tracker) Rank(e oa.Element) int {
 	defer es.mu.Unlock()
 	switch es.state {
 	case Open:
-		if time.Now().After(es.openedUntil) {
+		if t.now().After(es.openedUntil) {
 			return 2
 		}
 		return 3
@@ -300,7 +313,7 @@ type EndpointHealth struct {
 // has elapsed reads as HalfOpen, matching StateOf.
 func (t *Tracker) Snapshot() []EndpointHealth {
 	var out []EndpointHealth
-	now := time.Now()
+	now := t.now()
 	t.m.Range(func(k, v any) bool {
 		es := v.(*endpointState)
 		es.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
 	"repro/internal/oa"
 )
@@ -162,5 +163,40 @@ func TestSnapshotEnumeratesEndpoints(t *testing.T) {
 	time.Sleep(time.Millisecond)
 	if snap := tr2.Snapshot(); len(snap) != 1 || snap[0].State != HalfOpen {
 		t.Errorf("elapsed-open snapshot = %+v, want half-open", snap)
+	}
+}
+
+// TestBreakerVirtualClock drives the open→half-open probe window with
+// a virtual clock: no wall sleeping, fully deterministic transitions.
+func TestBreakerVirtualClock(t *testing.T) {
+	v := clock.NewVirtual(time.Time{})
+	tr := NewTracker(Config{FailureThreshold: 2, OpenDuration: 10 * time.Second, Clock: v}, nil)
+	e := oa.MemElement(42)
+
+	tr.ReportFailure(e)
+	tr.ReportFailure(e)
+	if st := tr.StateOf(e); st != Open {
+		t.Fatalf("state after threshold = %v, want open", st)
+	}
+	if tr.Allow(e) {
+		t.Fatal("open breaker admitted traffic with no time passed")
+	}
+
+	// One nanosecond short of the window: still open.
+	v.Advance(10*time.Second - time.Nanosecond)
+	if tr.Allow(e) {
+		t.Fatal("breaker opened early")
+	}
+	// Cross the window: exactly one probe is admitted.
+	v.Advance(2 * time.Nanosecond)
+	if !tr.Allow(e) {
+		t.Fatal("elapsed breaker refused the half-open probe")
+	}
+	if tr.Allow(e) {
+		t.Fatal("second probe admitted while first is in flight")
+	}
+	tr.ReportSuccess(e, time.Millisecond)
+	if st := tr.StateOf(e); st != Closed {
+		t.Fatalf("state after probe success = %v, want closed", st)
 	}
 }

@@ -62,13 +62,13 @@ func (h *Host) StartCheckpointer(mag loid.LOID, magAddr oa.Address, every time.D
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		tick := time.NewTicker(every)
+		tick := h.node.Clock().NewTicker(every)
 		defer tick.Stop()
 		for {
 			select {
 			case <-c.stop:
 				return
-			case <-tick.C:
+			case <-tick.C():
 				h.CheckpointNow()
 			}
 		}

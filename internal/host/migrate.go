@@ -49,7 +49,8 @@ func (h *Host) prepareMigrate(inv *rt.Invocation) ([][]byte, error) {
 	if err := h.node.Park(l, h.self); err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	clk := h.node.Clock()
+	t0 := clk.Now()
 	res, err := h.obj.Caller().CallAddr(h.Address(), l, "SaveState")
 	if err == nil {
 		err = res.Err()
@@ -63,7 +64,7 @@ func (h *Host) prepareMigrate(inv *rt.Invocation) ([][]byte, error) {
 		h.node.Unpark(l)
 		return nil, fmt.Errorf("host %v: drain %v: %w", h.self, l, err)
 	}
-	h.node.Registry().Histogram("mig/drain").Observe(time.Since(t0))
+	h.node.Registry().Histogram("mig/drain").Observe(clk.Since(t0))
 	return [][]byte{state, wire.String(implName)}, nil
 }
 
@@ -106,7 +107,7 @@ func (h *Host) finishMigrate(inv *rt.Invocation) ([][]byte, error) {
 	lid := l.ID()
 	h.node.ForwardParked(lid, addr.Elements[0])
 	node := h.node
-	time.AfterFunc(tombstoneTTL, func() { node.DropTombstone(lid) })
+	node.Clock().AfterFunc(tombstoneTTL, func() { node.DropTombstone(lid) })
 	return nil, nil
 }
 
@@ -205,17 +206,17 @@ func (h *Host) LoadNow() Load {
 			ld.CkptDirty++
 		}
 	}
-	ld.DispatchRate = h.meter.rate(h.node.Served())
+	ld.DispatchRate = h.meter.rate(h.node.Served(), h.node.Clock().Now())
 	return ld
 }
 
-// rate turns the monotone dispatch counter into a requests/sec figure.
-// Samples closer together than 100ms reuse the previous rate so two
-// consumers polling back-to-back don't read a meaningless burst.
-func (m *loadMeter) rate(served uint64) uint64 {
+// rate turns the monotone dispatch counter into a requests/sec figure
+// at instant now (from the host's clock). Samples closer together than
+// 100ms reuse the previous rate so two consumers polling back-to-back
+// don't read a meaningless burst.
+func (m *loadMeter) rate(served uint64, now time.Time) uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	now := time.Now()
 	if m.lastAt.IsZero() {
 		m.lastN, m.lastAt = served, now
 		return 0
@@ -255,13 +256,13 @@ func (h *Host) StartLoadReporter(mag loid.LOID, magAddr oa.Address, every time.D
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		tick := time.NewTicker(every)
+		tick := h.node.Clock().NewTicker(every)
 		defer tick.Stop()
 		for {
 			select {
 			case <-r.stop:
 				return
-			case <-tick.C:
+			case <-tick.C():
 				ld := h.LoadNow()
 				// Best effort: a missed heartbeat just leaves the last
 				// report standing until the next tick. A configured

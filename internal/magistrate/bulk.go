@@ -3,7 +3,6 @@ package magistrate
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/binding"
 	"repro/internal/host"
@@ -149,7 +148,7 @@ func (m *Magistrate) bulkAdopt(ls []loid.LOID) {
 	}
 	span := m.tracer().RootAlways("call", "bulk.adopt", "magistrate")
 	reg := m.reg()
-	t0 := time.Now()
+	t0 := m.now()
 
 	// Claim: mark each inert record activating and collect its OPR
 	// address. Records already active, settling elsewhere, or without a
@@ -270,7 +269,7 @@ func (m *Magistrate) bulkAdopt(ls []loid.LOID) {
 	}
 	reg.Counter("mag/bulk_adoptions").Inc()
 	reg.Counter("mag/bulk_adopted_objects").Add(adopted)
-	reg.Histogram("mag/bulk_adopt").Observe(time.Since(t0))
+	reg.Histogram("mag/bulk_adopt").Observe(m.since(t0))
 	span.Event("bulk.adopt", fmt.Sprintf("%d objects -> %v", adopted, target.l))
 	span.Finish(wire.OK.String())
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/binding"
+	"repro/internal/clock"
 	"repro/internal/host"
 	"repro/internal/idl"
 	"repro/internal/loid"
@@ -161,6 +162,11 @@ type Magistrate struct {
 	// out; zero means bindings never explicitly expire (§3.5).
 	BindingTTL time.Duration
 
+	// clk is the Magistrate's time base for binding TTLs, load
+	// staleness, and phase timing histograms (nil = wall). Set once at
+	// construction via SetClock, before the Magistrate serves traffic.
+	clk clock.Clock
+
 	obj *rt.Object
 }
 
@@ -183,6 +189,31 @@ func New(self loid.LOID, store persist.Store) *Magistrate {
 
 // LOID returns the Magistrate's name.
 func (m *Magistrate) LOID() loid.LOID { return m.self }
+
+// SetClock installs the Magistrate's time base (nil or clock.Wall =
+// wall clock). Call before the Magistrate serves traffic.
+func (m *Magistrate) SetClock(c clock.Clock) {
+	if c == clock.Wall {
+		c = nil
+	}
+	m.clk = c
+}
+
+// now reads the Magistrate's clock.
+func (m *Magistrate) now() time.Time {
+	if m.clk != nil {
+		return m.clk.Now()
+	}
+	return time.Now()
+}
+
+// since is now().Sub(t) on the Magistrate's clock.
+func (m *Magistrate) since(t time.Time) time.Duration {
+	if m.clk != nil {
+		return m.clk.Since(t)
+	}
+	return time.Since(t)
+}
 
 // SetFilter installs the activation filter (local configuration by the
 // jurisdiction's owner, not a remote method).
@@ -698,7 +729,7 @@ func (m *Magistrate) reactivate(ls []loid.LOID) {
 	span := m.tracer().RootAlways("call", "reactivate", "magistrate")
 	reg := m.reg()
 	for _, l := range ls {
-		t0 := time.Now()
+		t0 := m.now()
 		b, known, err := m.activateLocal(context.Background(), l, loid.Nil)
 		if !known || err != nil {
 			span.Event("reactivate", fmt.Sprintf("%v failed: %v", l, err))
@@ -706,7 +737,7 @@ func (m *Magistrate) reactivate(ls []loid.LOID) {
 			continue
 		}
 		reg.Counter("mag/reactivations").Inc()
-		reg.Histogram("mag/reactivate").Observe(time.Since(t0))
+		reg.Histogram("mag/reactivate").Observe(m.since(t0))
 		span.Event("reactivate", fmt.Sprintf("%v -> %v", l, b.Address))
 		m.notifyClass(l, b)
 	}
@@ -777,7 +808,7 @@ func (m *Magistrate) HostRecovered(h loid.LOID, addr oa.Address) {
 
 func (m *Magistrate) bindingLocked(l loid.LOID, addr oa.Address) binding.Binding {
 	if m.BindingTTL > 0 {
-		return binding.Until(l, addr, time.Now().Add(m.BindingTTL))
+		return binding.Until(l, addr, m.now().Add(m.BindingTTL))
 	}
 	return binding.Forever(l, addr)
 }
@@ -845,7 +876,7 @@ func (m *Magistrate) pickHostLocked(hint loid.LOID) (hostEntry, error) {
 			counts[rec.host.ID()]++
 		}
 	}
-	now := time.Now()
+	now := m.now()
 	var best, last hostEntry
 	bestScore, lastScore := 0.0, 0.0
 	haveBest, haveLast := false, false

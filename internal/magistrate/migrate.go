@@ -108,7 +108,7 @@ func (m *Magistrate) reportLoad(inv *rt.Invocation) ([][]byte, error) {
 		return nil, err
 	}
 	m.mu.Lock()
-	m.loads[h.ID()] = loadEntry{ld: ld, at: time.Now()}
+	m.loads[h.ID()] = loadEntry{ld: ld, at: m.now()}
 	plane := m.plane
 	m.mu.Unlock()
 	// Every heartbeat becomes one epoch of the cluster timeline; a host
@@ -138,7 +138,7 @@ func (m *Magistrate) Loads() []HostLoad {
 			counts[rec.host.ID()]++
 		}
 	}
-	now := time.Now()
+	now := m.now()
 	out := make([]HostLoad, 0, len(m.hosts))
 	for _, h := range m.hosts {
 		hl := HostLoad{Host: h.l, Age: -1}
@@ -286,7 +286,7 @@ func (m *Magistrate) migrateObject(inv *rt.Invocation) ([][]byte, error) {
 func (m *Magistrate) MigrateObject(ctx context.Context, l, destHost loid.LOID) error {
 	reg := m.reg()
 	reg.Counter("mig/attempts").Inc()
-	t0 := time.Now()
+	t0 := m.now()
 
 	m.mu.Lock()
 	rec, ok := m.waitSettledLocked(l.ID())
@@ -363,7 +363,7 @@ func (m *Magistrate) MigrateObject(ctx context.Context, l, destHost loid.LOID) e
 		return err
 	}
 	reg.Counter("mig/success").Inc()
-	reg.Histogram("mig/total").Observe(time.Since(t0))
+	reg.Histogram("mig/total").Observe(m.since(t0))
 	span.Finish(wire.OK.String())
 	return nil
 }

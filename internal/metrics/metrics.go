@@ -212,7 +212,12 @@ func (s *HistStats) Exemplar() (Exemplar, bool) {
 
 // Snapshot computes summary statistics. Percentiles are bucket-upper-
 // bound approximations. Under concurrent Observe the snapshot is
-// approximate (fields are read without a common lock).
+// approximate (fields are read without a common lock), but the
+// percentiles are internally CONSISTENT: they are derived from the
+// one bucket cut this snapshot read, so P50 <= P99 <= P999 always
+// holds within a snapshot. (Deriving them from the separately-read
+// Count used to let two racing Observes produce percentile sets that
+// moved non-monotonically between reads.)
 func (h *Histogram) Snapshot() HistStats {
 	if h == nil {
 		return HistStats{}
@@ -310,7 +315,22 @@ func (s *HistStats) Merge(o HistStats) {
 }
 
 func (s *HistStats) percentile(q float64) time.Duration {
-	target := uint64(q * float64(s.Count))
+	// The percentile base is the bucket cut itself, NOT s.Count: under
+	// concurrent Observe the atomic count and the bucket array are read
+	// at slightly different instants, and a Count ahead of the buckets
+	// would push the target past the cumulative total — q=0.5 could
+	// then fall off the end (returning Max) while q=0.99 landed in a
+	// bucket below it. Walking one array against its own total keeps
+	// every quantile of a snapshot on the same monotone cumulative
+	// curve.
+	var total uint64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return s.Max
+	}
+	target := uint64(q * float64(total))
 	if target == 0 {
 		target = 1
 	}

@@ -290,3 +290,59 @@ func BenchmarkHistogramObserveParallel(b *testing.B) {
 		}
 	})
 }
+
+// TestPercentileMonotoneUnderStaleCount is the regression test for the
+// snapshot-consistency bug: a HistStats whose Count disagrees with its
+// bucket cut (exactly what a racing Observe produces — count bumped,
+// bucket not yet) must still report P50 <= P99 <= P999. The old
+// Count-based target let P50 fall off the cumulative curve (returning
+// Max, here 0) while P99 still landed in a bucket.
+func TestPercentileMonotoneUnderStaleCount(t *testing.T) {
+	var s HistStats
+	s.Buckets[3] = 10 // 8µs bound
+	s.Buckets[9] = 1  // 512µs bound
+	s.Count = 25      // far ahead of the 11 observations the cut saw
+	s.Sum = 100 * time.Microsecond
+	s.Recompute()
+	if !(s.P50 <= s.P99 && s.P99 <= s.P999) {
+		t.Fatalf("percentiles not monotone: P50=%v P99=%v P999=%v", s.P50, s.P99, s.P999)
+	}
+	if s.P50 == 0 {
+		t.Fatalf("P50 fell off the bucket walk (stale-Count target)")
+	}
+}
+
+// TestPercentileMonotoneUnderConcurrentObserve hammers a histogram
+// with concurrent observations while reading snapshots, asserting
+// every snapshot's percentile set is internally monotone.
+func TestPercentileMonotoneUnderConcurrentObserve(t *testing.T) {
+	h := NewRegistry().Histogram("x")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(1<<uint(w)) * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(d)
+					h.Observe(time.Duration(w+1) * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 5000; i++ {
+		s := h.Snapshot()
+		if !(s.P50 <= s.P99 && s.P99 <= s.P999) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot %d not monotone: P50=%v P99=%v P999=%v", i, s.P50, s.P99, s.P999)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/binding"
 	"repro/internal/buf"
+	"repro/internal/clock"
 	"repro/internal/health"
 	"repro/internal/loid"
 	"repro/internal/oa"
@@ -96,7 +97,13 @@ func NewCaller(node *Node, self loid.LOID, resolver Resolver) *Caller {
 		MaxRefresh: 2,
 	}
 	c.resolver.Store(&resolverRef{r: resolver})
-	c.cache.Store(binding.NewCache(DefaultBindingCacheSize))
+	cache := binding.NewCache(DefaultBindingCacheSize)
+	if node.clk != nil {
+		// Bindings minted under a virtual clock carry virtual-epoch
+		// expiries; the cache must judge them on the same time base.
+		cache.SetClock(node.clk.Now)
+	}
+	c.cache.Store(cache)
 	c.rngState.Store(uint64(self.ClassID)<<32 ^ uint64(self.ClassSpecific) ^ 0x5DEECE66D)
 	return c
 }
@@ -111,7 +118,11 @@ func (c *Caller) SetResolver(r Resolver) {
 }
 
 // SetCache replaces the binding cache (e.g. with a different capacity).
+// The node's clock carries over to the new cache.
 func (c *Caller) SetCache(cache *binding.Cache) {
+	if c.node.clk != nil {
+		cache.SetClock(c.node.clk.Now)
+	}
 	c.cache.Store(cache)
 }
 
@@ -291,7 +302,7 @@ func (c *Caller) callCtx(ctx context.Context, target loid.LOID, method string, a
 		}
 		// Retries cost budget: a shared budget keeps a partial outage
 		// from amplifying offered load exactly when capacity is short.
-		if !c.Budget.Take() {
+		if !c.Budget.takeAt(c.now()) {
 			span.Event("retry", "budget exhausted")
 			if err != nil {
 				return nil, fmt.Errorf("rt: %v (retry budget exhausted)", err)
@@ -308,7 +319,7 @@ func (c *Caller) callCtx(ctx context.Context, target loid.LOID, method string, a
 		// Jittered exponential backoff decorrelates retry storms. The
 		// sleep is clipped to the deadline; if the budget runs out the
 		// next deliver returns ErrDeadlineExceeded.
-		_ = sleepBackoff(c.Retry.backoff(attempt, c.intn), deadline)
+		_ = sleepBackoff(c.node.Clock(), c.Retry.backoff(attempt, c.intn), deadline)
 		// The binding is stale or the endpoint unreachable: refresh.
 		nb, rerr := c.refresh(ctx, b, span)
 		if rerr != nil {
@@ -468,6 +479,46 @@ func putTimer(t *time.Timer) {
 	timerPool.Put(t)
 }
 
+// now/since/until read the hosting node's clock; on the wall clock
+// (the common case) they compile down to the direct time calls the
+// fast path always made, behind one predictable nil check.
+func (c *Caller) now() time.Time                  { return c.node.now() }
+func (c *Caller) since(t time.Time) time.Duration { return c.node.since(t) }
+
+func (c *Caller) until(t time.Time) time.Duration {
+	if c.node.clk != nil {
+		return c.node.clk.Until(t)
+	}
+	return time.Until(t)
+}
+
+// callTimer is the per-wave reply timer behind the clock seam: on the
+// wall clock it is a pooled runtime timer (the zero-alloc fast path,
+// unchanged); on an installed Virtual clock it is a clock timer that
+// fires when the driving goroutine advances time.
+type callTimer struct {
+	wall *time.Timer
+	virt clock.Timer
+	ch   <-chan time.Time
+}
+
+func (c *Caller) armTimer(d time.Duration) callTimer {
+	if c.node.clk == nil {
+		t := getTimer(d)
+		return callTimer{wall: t, ch: t.C}
+	}
+	t := c.node.clk.NewTimer(d)
+	return callTimer{virt: t, ch: t.C()}
+}
+
+func (t callTimer) release() {
+	if t.wall != nil {
+		putTimer(t.wall)
+		return
+	}
+	t.virt.Stop()
+}
+
 // deliver sends one request according to the address semantics and
 // waits for a definitive reply, walking failover waves on timeout or
 // unreachability (§3.4, §4.3). Within a multi-element wave (SemAll,
@@ -532,7 +583,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 		}
 		waveTimeout := c.Timeout
 		if !deadline.IsZero() {
-			remain := time.Until(deadline)
+			remain := c.until(deadline)
 			if remain <= 0 {
 				span.Event("deadline", "budget exhausted before send")
 				return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}, nil
@@ -543,7 +594,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 		}
 		var waveStart time.Time
 		if ht != nil {
-			waveStart = time.Now()
+			waveStart = c.now()
 		}
 		f, contacted, err := c.sendTo(wave, target, method, args, dlNanos, ht, sc, true)
 		if err != nil {
@@ -555,7 +606,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 			replied = make([]bool, len(contacted))
 		}
 		var waveLast *Result
-		timer := getTimer(waveTimeout)
+		timer := c.armTimer(waveTimeout)
 		collected := 0
 		waveDone := false
 		for !waveDone {
@@ -563,10 +614,10 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 			case res := <-f.ch:
 				collected++
 				if ht != nil {
-					attributeReply(ht, contacted, replied, res.From, time.Since(waveStart))
+					attributeReply(ht, contacted, replied, res.From, c.since(waveStart))
 				}
 				if !retryable(res.Code) {
-					putTimer(timer)
+					timer.release()
 					c.node.cancel(f.id)
 					c.node.putFuture(f)
 					return res, nil
@@ -575,7 +626,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 				if collected >= len(contacted) {
 					waveDone = true
 				}
-			case <-timer.C:
+			case <-timer.ch:
 				c.node.cancel(f.id)
 				if ht != nil {
 					// Endpoints that never answered within the wave
@@ -588,7 +639,7 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 					}
 				}
 				if waveLast == nil {
-					if !deadline.IsZero() && !time.Now().Before(deadline) {
+					if !deadline.IsZero() && !c.now().Before(deadline) {
 						span.Event("deadline", "expired awaiting reply")
 						waveLast = &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}
 					} else {
@@ -597,14 +648,14 @@ func (c *Caller) deliver(ctx context.Context, addr oa.Address, target loid.LOID,
 				}
 				waveDone = true
 			case <-ctxDone:
-				putTimer(timer)
+				timer.release()
 				c.node.cancel(f.id)
 				c.node.putFuture(f)
 				span.Event("deadline", "context cancelled")
 				return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ctx.Err().Error()}, nil
 			}
 		}
-		putTimer(timer)
+		timer.release()
 		// The wave is settled: every contacted replica answered (the
 		// final reply removed the pending entry) or the timeout branch
 		// cancelled it — either way the future is out of the table and
@@ -780,7 +831,7 @@ func (c *Caller) deliverOne(ctx context.Context, e oa.Element, target loid.LOID,
 	deadline := deadlineOf(ctx)
 	var dlNanos int64
 	if !deadline.IsZero() {
-		if !time.Now().Before(deadline) {
+		if !c.now().Before(deadline) {
 			span.Event("deadline", "budget exhausted before send")
 			return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}, nil
 		}
@@ -814,13 +865,13 @@ func (c *Caller) deliverOne(ctx context.Context, e oa.Element, target loid.LOID,
 	}
 	waveTimeout := c.Timeout
 	if !deadline.IsZero() {
-		if remain := time.Until(deadline); remain < waveTimeout {
+		if remain := c.until(deadline); remain < waveTimeout {
 			waveTimeout = remain
 		}
 	}
 	var start time.Time
 	if ht != nil {
-		start = time.Now()
+		start = c.now()
 	}
 	f, err := c.sendOne(e, target, method, args, dlNanos, ht, sc)
 	if err != nil {
@@ -831,7 +882,7 @@ func (c *Caller) deliverOne(ctx context.Context, e oa.Element, target loid.LOID,
 	// is free to recycle.
 	collect := func(res *Result) (*Result, error) {
 		if ht != nil && res.From != (oa.Element{}) {
-			ht.ReportSuccess(res.From, time.Since(start))
+			ht.ReportSuccess(res.From, c.since(start))
 		}
 		c.node.putFuture(f)
 		return res, nil
@@ -845,25 +896,25 @@ func (c *Caller) deliverOne(ctx context.Context, e oa.Element, target loid.LOID,
 	if ctx != nil {
 		ctxDone = ctx.Done()
 	}
-	timer := getTimer(waveTimeout)
+	timer := c.armTimer(waveTimeout)
 	select {
 	case res := <-f.ch:
-		putTimer(timer)
+		timer.release()
 		return collect(res)
-	case <-timer.C:
-		putTimer(timer)
+	case <-timer.ch:
+		timer.release()
 		c.node.cancel(f.id)
 		c.node.putFuture(f)
 		if ht != nil {
 			ht.ReportFailure(e)
 		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
+		if !deadline.IsZero() && !c.now().Before(deadline) {
 			span.Event("deadline", "expired awaiting reply")
 			return &Result{Code: wire.ErrDeadlineExceeded, ErrText: ErrTimeout.Error()}, nil
 		}
 		return &Result{Code: wire.ErrUnavailable, ErrText: ErrTimeout.Error()}, nil
 	case <-ctxDone:
-		putTimer(timer)
+		timer.release()
 		c.node.cancel(f.id)
 		c.node.putFuture(f)
 		span.Event("deadline", "context cancelled")

@@ -90,12 +90,12 @@ func (f *Future) Wait(timeout time.Duration) (*Result, error) {
 		res := <-f.ch
 		return res, nil
 	}
-	t := time.NewTimer(timeout)
+	t := f.node.Clock().NewTimer(timeout)
 	defer t.Stop()
 	select {
 	case res := <-f.ch:
 		return res, nil
-	case <-t.C:
+	case <-t.C():
 		f.node.cancel(f.id)
 		// A reply may have raced the cancellation; prefer it.
 		select {

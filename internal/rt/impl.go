@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/idl"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -55,7 +56,11 @@ type Invocation struct {
 // set). It is timer-free and needs no cancel: both are immutable state,
 // not resources.
 func (inv *Invocation) Ctx() context.Context {
-	return invCtx{t: inv.Deadline, sc: inv.Trace}
+	c := invCtx{t: inv.Deadline, sc: inv.Trace}
+	if inv.Obj != nil {
+		c.clk = inv.Obj.node.clk // nil on the wall clock
+	}
+	return c
 }
 
 // invCtx is an allocation-light context.Context carrying only an
@@ -63,15 +68,23 @@ func (inv *Invocation) Ctx() context.Context {
 // it arms no timer and has nothing to cancel, so it can be minted per
 // invocation for free.
 type invCtx struct {
-	t  time.Time
-	sc trace.SpanContext
+	t   time.Time
+	sc  trace.SpanContext
+	clk clock.Clock // nil = wall; set when the serving node runs virtual
 }
 
 func (d invCtx) Deadline() (time.Time, bool) { return d.t, !d.t.IsZero() }
 func (d invCtx) Done() <-chan struct{}       { return nil }
 func (d invCtx) Value(any) any               { return nil }
 func (d invCtx) Err() error {
-	if !d.t.IsZero() && !time.Now().Before(d.t) {
+	if d.t.IsZero() {
+		return nil
+	}
+	now := time.Now()
+	if d.clk != nil {
+		now = d.clk.Now()
+	}
+	if !now.Before(d.t) {
 		return context.DeadlineExceeded
 	}
 	return nil

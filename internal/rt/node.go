@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/buf"
+	"repro/internal/clock"
 	"repro/internal/loid"
 	"repro/internal/metrics"
 	"repro/internal/oa"
@@ -72,6 +73,14 @@ type Node struct {
 	// derive their dispatch-rate load signal from its delta.
 	served atomic.Uint64
 
+	// clk is the node's time source: nil means the wall clock, so the
+	// invocation fast path pays one nil check, not an interface call.
+	// Every timing decision on the node — reply timers, deadline
+	// checks, serve-latency stamps, and (through the owning Host) the
+	// checkpoint/heartbeat loops — reads it, which is what lets a
+	// deployment run against clock.Virtual deterministically.
+	clk clock.Clock
+
 	cGarbage   *metrics.Counter
 	cStale     *metrics.Counter
 	cExcept    *metrics.Counter
@@ -125,6 +134,37 @@ func (n *Node) Registry() *metrics.Registry { return n.reg }
 // it started; Host Objects difference it across heartbeats for their
 // dispatch-rate load signal.
 func (n *Node) Served() uint64 { return n.served.Load() }
+
+// SetClock installs the node's time source (nil restores the wall
+// clock). Install before the node serves traffic: callers and objects
+// read it without synchronization on the fast path.
+func (n *Node) SetClock(c clock.Clock) {
+	if c == clock.Wall {
+		c = nil
+	}
+	n.clk = c
+}
+
+// Clock returns the node's time source (clock.Wall when none was
+// installed) — the seam the Host's checkpoint and heartbeat loops,
+// tombstone TTLs, and reply timers hang off.
+func (n *Node) Clock() clock.Clock { return clock.Of(n.clk) }
+
+// now/since keep the fast path free of interface dispatch when the
+// node runs on the wall clock (the overwhelmingly common case).
+func (n *Node) now() time.Time {
+	if n.clk != nil {
+		return n.clk.Now()
+	}
+	return time.Now()
+}
+
+func (n *Node) since(t time.Time) time.Duration {
+	if n.clk != nil {
+		return n.clk.Since(t)
+	}
+	return time.Since(t)
+}
 
 // SetTracer installs the node's span collector; nil disables tracing.
 // Tracers are typically shared by every node of a process so multi-hop

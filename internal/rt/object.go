@@ -173,7 +173,7 @@ func (o *Object) serve(f *wire.Frame) {
 	var start time.Time
 	if p := o.node.observer.Load(); p != nil {
 		ob = *p
-		start = time.Now()
+		start = o.node.now()
 	}
 	// A traced request grows a serve span covering the whole method
 	// execution on this object; children of a sampled trace are always
@@ -188,7 +188,7 @@ func (o *Object) serve(f *wire.Frame) {
 	// A request whose propagated deadline already expired is not worth
 	// running: the caller has given up, and the answer — if one is
 	// still listening — is definitive either way.
-	if dl := f.Deadline(); dl != 0 && time.Now().UnixNano() > dl {
+	if dl := f.Deadline(); dl != 0 && o.node.now().UnixNano() > dl {
 		if span != nil {
 			span.Event("deadline", "expired before dispatch")
 			span.Finish(wire.ErrDeadlineExceeded.String())
@@ -197,7 +197,7 @@ func (o *Object) serve(f *wire.Frame) {
 			o.node.replyFrame(f, wire.ErrDeadlineExceeded, "deadline expired before dispatch", nil)
 		}
 		if ob != nil {
-			ob.ServeDone(o.component(), method, time.Since(start), tid)
+			ob.ServeDone(o.component(), method, o.node.since(start), tid)
 		}
 		return
 	}
@@ -213,7 +213,7 @@ func (o *Object) serve(f *wire.Frame) {
 		o.node.replyFrame(f, code, errText, results)
 	}
 	if ob != nil {
-		ob.ServeDone(o.component(), method, time.Since(start), tid)
+		ob.ServeDone(o.component(), method, o.node.since(start), tid)
 	}
 }
 
@@ -235,7 +235,7 @@ func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result
 	var start time.Time
 	if p := o.node.observer.Load(); p != nil {
 		ob = *p
-		start = time.Now()
+		start = o.node.now()
 	}
 	var span *trace.Span
 	if env.TraceID != 0 {
@@ -243,13 +243,13 @@ func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result
 			trace.SpanContext{TraceID: env.TraceID, SpanID: env.SpanID},
 			"serve", method, o.component())
 	}
-	if env.Deadline != 0 && time.Now().UnixNano() > env.Deadline {
+	if env.Deadline != 0 && o.node.now().UnixNano() > env.Deadline {
 		if span != nil {
 			span.Event("deadline", "expired before dispatch")
 			span.Finish(wire.ErrDeadlineExceeded.String())
 		}
 		if ob != nil {
-			ob.ServeDone(o.component(), method, time.Since(start), env.TraceID)
+			ob.ServeDone(o.component(), method, o.node.since(start), env.TraceID)
 		}
 		return &Result{Code: wire.ErrDeadlineExceeded, ErrText: "deadline expired before dispatch", From: o.node.Element()}
 	}
@@ -261,7 +261,7 @@ func (o *Object) serveLocal(method string, env *wire.Env, args [][]byte) *Result
 		span.Finish(code.String())
 	}
 	if ob != nil {
-		ob.ServeDone(o.component(), method, time.Since(start), env.TraceID)
+		ob.ServeDone(o.component(), method, o.node.since(start), env.TraceID)
 	}
 	return &Result{Code: code, ErrText: errText, Results: results, From: o.node.Element()}
 }

@@ -3,6 +3,8 @@ package rt
 import (
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // RetryPolicy configures the synchronous call retry loop (Call /
@@ -70,23 +72,32 @@ func NewRetryBudget(capacity, refillPerSec float64) *RetryBudget {
 	if refillPerSec < 0 {
 		refillPerSec = 0
 	}
+	// last is stamped lazily on the first Take so the refill baseline
+	// comes from whichever clock the caller runs on (a budget built
+	// before a virtual clock is installed would otherwise never refill:
+	// construction wall time sits far ahead of the virtual epoch).
 	return &RetryBudget{
 		tokens:   capacity,
 		capacity: capacity,
 		rate:     refillPerSec,
-		last:     time.Now(),
 	}
 }
 
 // Take consumes one retry token, reporting false when the budget is
 // exhausted (the caller should give up rather than amplify load).
-func (b *RetryBudget) Take() bool {
+func (b *RetryBudget) Take() bool { return b.takeAt(time.Now()) }
+
+// takeAt is Take against an explicit instant, so callers behind a
+// virtual clock refill deterministically.
+func (b *RetryBudget) takeAt(now time.Time) bool {
 	if b == nil {
 		return true
 	}
-	now := time.Now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
 	if dt := now.Sub(b.last).Seconds(); dt > 0 {
 		b.tokens += dt * b.rate
 		if b.tokens > b.capacity {
@@ -101,23 +112,23 @@ func (b *RetryBudget) Take() bool {
 	return true
 }
 
-// sleepBackoff sleeps for d but returns early (false) if the deadline
-// would pass first — there is no point finishing a backoff the call
-// cannot use.
-func sleepBackoff(d time.Duration, deadline time.Time) bool {
+// sleepBackoff sleeps for d on clk but returns early (false) if the
+// deadline would pass first — there is no point finishing a backoff
+// the call cannot use.
+func sleepBackoff(clk clock.Clock, d time.Duration, deadline time.Time) bool {
 	if d <= 0 {
 		return true
 	}
 	if !deadline.IsZero() {
-		remain := time.Until(deadline)
+		remain := clk.Until(deadline)
 		if remain <= 0 {
 			return false
 		}
 		if d >= remain {
-			time.Sleep(remain)
+			clk.Sleep(remain)
 			return false
 		}
 	}
-	time.Sleep(d)
+	clk.Sleep(d)
 	return true
 }

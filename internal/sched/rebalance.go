@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/loid"
 	"repro/internal/magistrate"
 	"repro/internal/metrics"
@@ -34,6 +35,10 @@ type Rebalancer struct {
 	// MinResidents: hosts running fewer objects are never rebalanced
 	// (there is nothing useful to move).
 	MinResidents uint64
+	// Clock drives the sampling ticker (nil = wall). A virtual clock
+	// lets tests and the DES harness step rebalance rounds without
+	// waiting out Interval.
+	Clock clock.Clock
 
 	cl  *magistrate.Client
 	reg *metrics.Registry
@@ -93,13 +98,13 @@ func (r *Rebalancer) Start() {
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		tick := time.NewTicker(r.Interval)
+		tick := clock.Of(r.Clock).NewTicker(r.Interval)
 		defer tick.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-tick.C:
+			case <-tick.C():
 				_, _ = r.RoundNow(context.Background())
 			}
 		}

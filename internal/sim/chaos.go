@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/health"
 	"repro/internal/host"
 	"repro/internal/loid"
@@ -278,37 +279,51 @@ func (r FaultResult) SuccessRate() float64 {
 // stalled on a dead host does not pause the arrival process —
 // availability is accounted per offered call, the way a caller
 // population (not a lone synchronous loop) would experience it.
+//
+// Latency is measured from each call's INTENDED send time on that
+// fixed schedule, not from whenever the goroutine got around to
+// sending. Measuring post-sleep send time is the classic coordinated
+// omission bug: a stalled fabric silently stretches the inter-arrival
+// gaps, the schedule self-throttles, and the reported p99 flatters
+// exactly the outages the experiment exists to expose. Deadlines are
+// anchored at the intended time too — a late send has already spent
+// part of its budget queueing.
 func (s *Sim) RunFaultCalls(w FaultLoad) FaultResult {
 	if w.Pace <= 0 {
 		w.Pace = 5 * time.Millisecond
 	}
+	clk := clock.Of(s.Config.Clock)
 	var (
 		mu        sync.Mutex
 		failures  int
 		latencies []time.Duration
 	)
 	var wg sync.WaitGroup
-	until := time.Now().Add(w.Duration)
+	start := clk.Now()
+	until := start.Add(w.Duration)
 	for ci, cli := range s.Clients {
 		cli.Retry = w.Retry
 		wg.Add(1)
 		go func(ci int, cli *rt.Caller) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(s.Config.Seed + int64(ci)))
+			rng := rand.New(rand.NewSource(workerSeed(s.Config.Seed, ci)))
 			var inflight sync.WaitGroup
-			tick := time.NewTicker(w.Pace)
-			defer tick.Stop()
-			for time.Now().Before(until) {
-				<-tick.C
+			for i := 1; ; i++ {
+				intended := start.Add(time.Duration(i) * w.Pace)
+				if !intended.Before(until) {
+					break
+				}
+				if d := intended.Sub(clk.Now()); d > 0 {
+					clk.Sleep(d)
+				}
 				target := s.Flat[rng.Intn(len(s.Flat))]
 				inflight.Add(1)
-				go func(target loid.LOID) {
+				go func(target loid.LOID, intended time.Time) {
 					defer inflight.Done()
-					ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(w.Deadline))
-					t0 := time.Now()
+					ctx, cancel := context.WithDeadline(context.Background(), intended.Add(w.Deadline))
 					res, err := cli.CallCtx(ctx, target, "Work")
 					cancel()
-					lat := time.Since(t0)
+					lat := clk.Since(intended)
 					failed := err != nil || res.Err() != nil
 					mu.Lock()
 					latencies = append(latencies, lat)
@@ -316,7 +331,7 @@ func (s *Sim) RunFaultCalls(w FaultLoad) FaultResult {
 						failures++
 					}
 					mu.Unlock()
-				}(target)
+				}(target, intended)
 			}
 			inflight.Wait()
 		}(ci, cli)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/class"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/idl"
 	"repro/internal/implreg"
@@ -133,6 +134,11 @@ type Config struct {
 	// SlowCall overrides the plane's slow-call threshold (0 keeps
 	// obs.DefaultSlowCall); only meaningful with Obs.
 	SlowCall time.Duration
+	// Clock, when set, puts the whole deployment on an explicit time
+	// base (see core.Options.Clock). A clock.Virtual makes every reply
+	// timer, backoff, TTL, and loop tick deterministic — tests drive
+	// time with Advance/Step instead of sleeping.
+	Clock clock.Clock
 }
 
 func (c *Config) fill() {
@@ -237,6 +243,7 @@ func Build(cfg Config) (*Sim, error) {
 		VaultDir:             vaultDir,
 		StoreBackend:         cfg.StoreBackend,
 		Obs:                  plane,
+		Clock:                cfg.Clock,
 	})
 	if err != nil {
 		if tmpData != "" {

@@ -12,6 +12,22 @@ import (
 	"repro/internal/wire"
 )
 
+// workerSeed derives the RNG seed for worker ci of a run seeded with
+// seed, by one splitmix64 round over the combined value (the same
+// mixer rt.Caller uses for its jitter stream). Plain seed+ci is NOT
+// enough: two sims with adjacent seeds — or a chaos restart reusing a
+// worker index — would replay overlapping streams, correlating runs
+// that must be independent.
+func workerSeed(seed int64, ci int) int64 {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + uint64(ci)*0xBF58476D1CE4E5B9 + 0x9E3779B97F4A7C15
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	s *= 0x94D049BB133111EB
+	s ^= s >> 31
+	return int64(s)
+}
+
 // LookupWorkload describes a reference stream for RunLookups.
 type LookupWorkload struct {
 	// References is the total number of object references to issue.
@@ -111,13 +127,13 @@ func (s *Sim) RunLookups(w LookupWorkload) (LookupResult, error) {
 			wg.Add(1)
 			go func(ci int) {
 				defer wg.Done()
-				runOne(ci, rand.New(rand.NewSource(s.Config.Seed+int64(ci))))
+				runOne(ci, rand.New(rand.NewSource(workerSeed(s.Config.Seed, ci))))
 			}(ci)
 		}
 		wg.Wait()
 	} else {
 		for ci := range s.Clients {
-			runOne(ci, rand.New(rand.NewSource(s.Config.Seed+int64(ci))))
+			runOne(ci, rand.New(rand.NewSource(workerSeed(s.Config.Seed, ci))))
 		}
 	}
 	elapsed := time.Since(start)
